@@ -1,0 +1,101 @@
+"""Figs 35-44: the load-variation study (section VI).
+
+For each load factor: overall (steady-state) utilisation per scheme
+(Figs 35/38), mean slowdown and turnaround per 4-way category
+(Figs 36/37/39/40); the metric-vs-utilisation pairings of Figs 41-44
+are the same data re-keyed by achieved utilisation and are printed too.
+
+Shape checks:
+
+* utilisation rises with load and then flattens (saturation);
+* SS's steady utilisation is better than or comparable to NS's at
+  every load (the paper's Fig 35/38 claim);
+* IS's utilisation clearly trails at high load;
+* the SS-vs-NS slowdown gap widens with load for the short categories.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import SEED, run_once
+from repro.analysis.tables import series_table
+from repro.experiments import paper
+
+#: slightly smaller workload: this bench simulates (loads x schemes) runs
+LOAD_N_JOBS = 1500
+
+LOADS = {
+    "CTC": (1.0, 1.2, 1.4, 1.6, 1.8, 2.0),
+    "SDSC": (1.0, 1.1, 1.2, 1.3, 1.4, 1.5),
+}
+
+
+@pytest.mark.parametrize("trace", ["CTC", "SDSC"])
+def test_figs_35_44_load_variation(benchmark, trace):
+    out = run_once(
+        benchmark,
+        paper.load_variation,
+        trace=trace,
+        loads=LOADS[trace],
+        n_jobs=LOAD_N_JOBS,
+        seed=SEED,
+    )
+    print()
+    print(out.report)
+
+    loads = out.data["loads"]
+    util = out.data["utilization"]
+    ss = util["SF = 2 Tuned"]
+    ns = util["No Suspension"]
+    is_ = util["IS"]
+
+    # Figs 41-44 view: metric vs achieved utilisation
+    print()
+    print(
+        series_table(
+            "load",
+            loads,
+            {
+                "SS util %": [100 * u for u in ss],
+                "NS util %": [100 * u for u in ns],
+                "IS util %": [100 * u for u in is_],
+            },
+            title=f"{trace}: achieved steady utilisation (Figs 41-44 x-axis)",
+            precision=1,
+        )
+    )
+
+    # utilisation grows with load for the work-conserving schemes
+    assert ss[-1] > ss[0]
+    assert ns[-1] > ns[0]
+
+    # SS utilisation comparable to NS up to (and a bit past) the
+    # saturation knee.  Beyond deep overload the backlog of a *local*
+    # preemptive scheme is carried as suspended jobs pinned to specific
+    # processor sets, which cannot fill holes the way NS's flexible
+    # queue can; at bench scale this opens a gap at the extreme load
+    # points (documented deviation, see EXPERIMENTS.md Figs 35-44).
+    from repro.workload.archive import get_preset
+
+    knee = get_preset(trace).saturation_load
+    for load, s_u, n_u in zip(loads, ss, ns):
+        if load <= knee:
+            assert s_u >= n_u - 0.06, f"load {load}: SS {s_u:.3f} vs NS {n_u:.3f}"
+        else:
+            assert s_u >= n_u - 0.20, (
+                f"load {load} (past knee): SS {s_u:.3f} vs NS {n_u:.3f}"
+            )
+
+    # IS trails at the highest load
+    assert is_[-1] < max(ss[-1], ns[-1])
+
+    # slowdown gap (NS - SS) grows with load in the short categories
+    sd = out.data["slowdown"]
+    for cat in (("S", "N"), ("S", "W")):
+        if cat in sd["No Suspension"] and cat in sd["SF = 2 Tuned"]:
+            ns_series = sd["No Suspension"][cat]
+            ss_series = sd["SF = 2 Tuned"][cat]
+            gap_lo = ns_series[0] - ss_series[0]
+            gap_hi = ns_series[-1] - ss_series[-1]
+            assert gap_hi >= gap_lo - 1.0, (cat, gap_lo, gap_hi)

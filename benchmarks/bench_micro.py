@@ -1,0 +1,86 @@
+"""Micro-benchmarks of the simulation substrate.
+
+Conventional pytest-benchmark timings (many rounds) for the hot paths:
+event calendar throughput, profile operations, cluster allocation, and
+end-to-end simulation rate in jobs/second for each scheduler family.
+Regressions here silently inflate every figure bench, so they are
+tracked separately.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.machine import Cluster
+from repro.core.selective_suspension import SelectiveSuspensionScheduler
+from repro.schedulers.easy import EasyBackfillScheduler
+from repro.schedulers.profiles import AvailabilityProfile
+from repro.sim.events import EventKind, EventQueue
+from repro.workload.job import fresh_copies
+from repro.workload.synthetic import generate_trace
+from tests.conftest import run_sim
+
+JOBS_SDSC = generate_trace("SDSC", n_jobs=400, seed=3)
+
+
+def test_event_queue_push_pop(benchmark):
+    def run():
+        q = EventQueue()
+        for i in range(2000):
+            q.schedule(float(i % 97), EventKind.GENERIC, i)
+        while q:
+            q.pop()
+
+    benchmark(run)
+
+
+def test_event_queue_with_cancellation(benchmark):
+    def run():
+        q = EventQueue()
+        events = [q.schedule(float(i % 53), EventKind.GENERIC, i) for i in range(2000)]
+        for ev in events[::2]:
+            q.cancel(ev)
+        while q:
+            q.pop()
+
+    benchmark(run)
+
+
+def test_profile_claim_and_anchor(benchmark):
+    def run():
+        p = AvailabilityProfile(430, origin=0.0)
+        for i in range(60):
+            anchor = p.find_anchor(100.0 + i, 16)
+            p.claim(anchor, 100.0 + i, 16)
+
+    benchmark(run)
+
+
+def test_cluster_allocate_release(benchmark):
+    def run():
+        c = Cluster(430)
+        held = []
+        for i in range(100):
+            held.append((i, c.allocate(4, owner=i)))
+        for owner, procs in held:
+            c.release(procs, owner)
+
+    benchmark(run)
+
+
+def test_simulation_rate_easy(benchmark):
+    def run():
+        return run_sim(fresh_copies(JOBS_SDSC), EasyBackfillScheduler(), n_procs=128)
+
+    result = benchmark(run)
+    assert len(result.jobs) == len(JOBS_SDSC)
+
+
+def test_simulation_rate_ss(benchmark):
+    def run():
+        return run_sim(
+            fresh_copies(JOBS_SDSC),
+            SelectiveSuspensionScheduler(suspension_factor=2.0),
+            n_procs=128,
+        )
+
+    result = benchmark(run)
+    assert len(result.jobs) == len(JOBS_SDSC)

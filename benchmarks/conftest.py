@@ -1,0 +1,32 @@
+"""Shared benchmark configuration.
+
+Every paper-figure benchmark runs its experiment exactly once (rounds=1)
+-- these are regeneration harnesses, not micro-timings -- and prints the
+experiment's report so the bench log contains the same rows/series the
+paper's table or figure shows.  Micro-benchmarks (bench_micro.py) use
+pytest-benchmark conventionally.
+
+Scale knobs: REPRO_BENCH_JOBS (default 2000) and REPRO_BENCH_SEED
+(default 7) environment variables resize every figure bench.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: workload size for figure regeneration benches
+N_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "2000"))
+#: workload seed
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run *fn* exactly once under the benchmark timer; return its value."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def bench_sizes():
+    return {"n_jobs": N_JOBS, "seed": SEED}

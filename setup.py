@@ -1,0 +1,10 @@
+"""Shim for environments whose setuptools predates full PEP 660 support.
+
+``pip install -e .`` on modern toolchains uses pyproject.toml directly;
+on older ones (no `wheel` package available offline) this file lets
+``python setup.py develop`` provide the editable install.
+"""
+
+from setuptools import setup
+
+setup()

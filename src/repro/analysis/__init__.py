@@ -1,0 +1,24 @@
+"""Report rendering: the paper's tables and figure data as ASCII.
+
+* :mod:`repro.analysis.tables` -- fixed-width table rendering for 4x4
+  category grids and scheme-comparison matrices.
+* :mod:`repro.analysis.report` -- full experiment reports combining
+  several tables with headers and paper-reference notes.
+"""
+
+from repro.analysis.tables import (
+    category_grid_table,
+    comparison_table,
+    render_table,
+    series_table,
+)
+from repro.analysis.report import experiment_report, scheme_comparison_report
+
+__all__ = [
+    "category_grid_table",
+    "comparison_table",
+    "experiment_report",
+    "render_table",
+    "scheme_comparison_report",
+    "series_table",
+]

@@ -1,0 +1,134 @@
+"""ASCII charts: bar charts and line plots for terminal reports.
+
+The paper communicates through grouped bar charts (per-category metric
+comparisons) and line plots (load-variation curves).  These renderers
+draw both with plain characters so benchmark logs read like the paper's
+figures without any plotting dependency.
+
+Scales: bar charts use linear or log10 scaling (the paper's figures
+span 1 to 10^6 in places, where linear bars are useless); line plots
+auto-scale to the data range.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+_BAR = "#"
+_MARKS = "ox+*sdv^"
+
+
+def _scale(value: float, vmax: float, width: int, log: bool) -> int:
+    if value <= 0 or vmax <= 0:
+        return 0
+    if log:
+        if vmax <= 1.0:
+            return 0
+        return max(int(round(width * math.log10(max(value, 1.0)) / math.log10(vmax))), 0)
+    return int(round(width * value / vmax))
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    width: int = 50,
+    log: bool = False,
+    precision: int = 2,
+) -> str:
+    """Horizontal bar chart of label -> value.
+
+    Parameters
+    ----------
+    log:
+        Use a log10 axis (bars proportional to the order of magnitude);
+        right for slowdown comparisons spanning decades.
+    """
+    if not values:
+        raise ValueError("bar_chart needs at least one value")
+    vmax = max(values.values())
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        bar = _BAR * _scale(value, vmax, width, log)
+        lines.append(f"{label.ljust(label_w)} |{bar} {value:,.{precision}f}")
+    if log:
+        lines.append(f"{' ' * label_w} (log10 scale, max {vmax:,.{precision}f})")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Mapping[str, Mapping[str, float]],
+    title: str = "",
+    width: int = 40,
+    log: bool = False,
+    precision: int = 2,
+) -> str:
+    """The paper's figure shape: per category, one bar per scheme.
+
+    ``groups`` maps group label (category) -> {series label -> value}.
+    """
+    if not groups:
+        raise ValueError("grouped_bar_chart needs at least one group")
+    vmax = max(
+        (v for series in groups.values() for v in series.values()), default=0.0
+    )
+    series_w = max(
+        (len(s) for series in groups.values() for s in series), default=1
+    )
+    lines = [title] if title else []
+    for group, series in groups.items():
+        lines.append(f"{group}:")
+        for label, value in series.items():
+            bar = _BAR * _scale(value, vmax, width, log)
+            lines.append(f"  {label.ljust(series_w)} |{bar} {value:,.{precision}f}")
+    if log:
+        lines.append(f"(log10 scale, max {vmax:,.{precision}f})")
+    return "\n".join(lines)
+
+
+def line_plot(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    height: int = 12,
+    width: int = 60,
+    y_label: str = "",
+) -> str:
+    """Multi-series ASCII line plot (the load-variation figures).
+
+    Each series gets a marker character; collisions show the later
+    series' marker.  The x axis is sampled to *width* columns.
+    """
+    if not series:
+        raise ValueError("line_plot needs at least one series")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r}: {len(ys)} points for {len(xs)} xs")
+    if len(xs) < 2:
+        raise ValueError("line_plot needs at least two x values")
+
+    all_y = [y for ys in series.values() for y in ys]
+    y_lo, y_hi = min(all_y), max(all_y)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = min(xs), max(xs)
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for idx, (name, ys) in enumerate(series.items()):
+        mark = _MARKS[idx % len(_MARKS)]
+        legend.append(f"{mark}={name}")
+        for x, y in zip(xs, ys):
+            col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = mark
+
+    lines = [title] if title else []
+    lines.append(f"{y_hi:>10.2f} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{y_lo:>10.2f} +" + "-" * width)
+    lines.append(" " * 12 + f"{x_lo:<10g}{' ' * max(width - 20, 0)}{x_hi:>10g}")
+    lines.append(" " * 12 + "  ".join(legend) + (f"   [{y_label}]" if y_label else ""))
+    return "\n".join(lines)

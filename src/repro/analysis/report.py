@@ -1,0 +1,80 @@
+"""Experiment reports: tables with headers and paper references.
+
+These helpers turn the plain data returned by
+:mod:`repro.experiments.paper` into printable blocks; the benchmark
+harness tees them to stdout so a bench run shows the same rows/series as
+the corresponding paper table or figure.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.analysis.tables import category_grid_table, comparison_table
+from repro.metrics.aggregate import overall_stats, per_category_stats
+from repro.sim.driver import SimulationResult
+
+
+def _banner(title: str) -> str:
+    bar = "=" * max(len(title), 8)
+    return f"{bar}\n{title}\n{bar}"
+
+
+def experiment_report(
+    title: str,
+    result: SimulationResult,
+    metric: str = "slowdown",
+) -> str:
+    """Single-run report: overall + per-category grid for one metric."""
+    stats = per_category_stats(result.jobs)
+    values = {
+        c: getattr(s, metric).mean for c, s in stats.items()
+    }
+    overall = getattr(overall_stats(result.jobs), metric).mean
+    lines = [
+        _banner(title),
+        f"scheduler: {result.scheduler}   jobs: {len(result.jobs)}   "
+        f"utilization: {result.utilization:.3f}   suspensions: {result.total_suspensions}",
+        f"overall mean {metric}: {overall:.2f}",
+        category_grid_table(values, title=f"mean {metric} by category"),
+    ]
+    return "\n".join(lines)
+
+
+def scheme_comparison_report(
+    title: str,
+    results: Mapping[str, SimulationResult],
+    metric: str = "slowdown",
+    statistic: str = "mean",
+    quality: str | None = None,
+) -> str:
+    """Multi-scheme report: one column per scheme (a paper bar chart).
+
+    Parameters
+    ----------
+    metric:
+        ``"slowdown"``, ``"turnaround"`` or ``"wait"``.
+    statistic:
+        ``"mean"`` (Figs 7-10 style) or ``"worst"`` (Figs 11-18 style).
+    quality:
+        Optional ``"well"``/``"badly"`` estimate-quality restriction
+        (Figs 20-21 / 23-24 style).
+    """
+    per_scheme: dict[str, dict[tuple[str, str], float]] = {}
+    for label, result in results.items():
+        stats = per_category_stats(result.jobs, quality=quality)
+        per_scheme[label] = {
+            c: getattr(getattr(s, metric), statistic) for c, s in stats.items()
+        }
+    subtitle = f"{statistic} {metric}" + (f" ({quality} estimated jobs)" if quality else "")
+    lines = [
+        _banner(title),
+        comparison_table(per_scheme, title=subtitle),
+        "",
+        "overall: "
+        + "  ".join(
+            f"{label}={getattr(getattr(overall_stats(r.jobs), metric), statistic):.2f}"
+            for label, r in results.items()
+        ),
+    ]
+    return "\n".join(lines)

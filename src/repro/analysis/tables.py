@@ -1,0 +1,126 @@
+"""Fixed-width ASCII table rendering.
+
+The paper communicates everything through 4x4 category grids (length
+rows x width columns) and grouped bar charts (one bar per scheme per
+category).  This module renders both as plain text so benchmark runs
+print the same rows/series the paper reports, with no plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+#: Row/column orders matching the paper's tables.
+LENGTH_ORDER = ("VS", "S", "L", "VL")
+WIDTH_ORDER = ("Seq", "N", "W", "VW")
+LENGTH_ORDER_4 = ("S", "L")
+WIDTH_ORDER_4 = ("N", "W")
+
+
+def _fmt(value: float | int | str | None, width: int, precision: int) -> str:
+    if value is None:
+        return "-".rjust(width)
+    if isinstance(value, str):
+        return value.rjust(width)
+    if isinstance(value, int):
+        return str(value).rjust(width)
+    if value == 0:
+        return "0".rjust(width)
+    if abs(value) >= 10**6 or (0 < abs(value) < 10**-precision):
+        return f"{value:.{precision}e}".rjust(width)
+    return f"{value:,.{precision}f}".rjust(width)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 2,
+    min_col_width: int = 8,
+) -> str:
+    """Generic fixed-width table with a header rule."""
+    rows = [list(r) for r in rows]
+    widths = [max(min_col_width, len(h)) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(_fmt(cell, 0, precision).strip()))
+    head = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    rule = "-" * len(head)
+    body = [
+        "  ".join(
+            _fmt(cell, w, precision) if i else str(cell).ljust(w)
+            for i, (cell, w) in enumerate(zip(row, widths))
+        )
+        for row in rows
+    ]
+    return "\n".join([head, rule, *body])
+
+
+def category_grid_table(
+    values: Mapping[tuple[str, str], float],
+    title: str = "",
+    precision: int = 2,
+    four_way: bool = False,
+) -> str:
+    """Render a category -> value map as the paper's 4x4 (or 2x2) grid.
+
+    Missing categories render as ``-`` (a small trace may produce no
+    VL-VW jobs, for instance).
+    """
+    lengths = LENGTH_ORDER_4 if four_way else LENGTH_ORDER
+    widths = WIDTH_ORDER_4 if four_way else WIDTH_ORDER
+    headers = ["", *widths]
+    rows = [[lc, *[values.get((lc, wc)) for wc in widths]] for lc in lengths]
+    table = render_table(headers, rows, precision=precision)
+    return f"{title}\n{table}" if title else table
+
+
+def comparison_table(
+    per_scheme: Mapping[str, Mapping[tuple[str, str], float]],
+    categories: Sequence[tuple[str, str]] | None = None,
+    title: str = "",
+    precision: int = 2,
+) -> str:
+    """Scheme x category matrix -- the shape of the paper's bar charts.
+
+    Rows are categories (in table order), columns are schemes, exactly
+    the data behind one of the paper's grouped-bar figures.
+    """
+    if categories is None:
+        seen: dict[tuple[str, str], None] = {}
+        for values in per_scheme.values():
+            for c in values:
+                seen[c] = None
+        categories = sorted(
+            seen,
+            key=lambda c: (
+                LENGTH_ORDER.index(c[0]) if c[0] in LENGTH_ORDER else 99,
+                WIDTH_ORDER.index(c[1]) if c[1] in WIDTH_ORDER else 99,
+            ),
+        )
+    headers = ["category", *per_scheme.keys()]
+    rows = [
+        [f"{c[0]} {c[1]}", *[per_scheme[s].get(c) for s in per_scheme]]
+        for c in categories
+    ]
+    table = render_table(headers, rows, precision=precision)
+    return f"{title}\n{table}" if title else table
+
+
+def series_table(
+    x_label: str,
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    precision: int = 2,
+) -> str:
+    """x vs several named series -- the load-variation line plots."""
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points for {len(xs)} x values"
+            )
+    headers = [x_label, *series.keys()]
+    rows = [[f"{x:g}", *[series[name][i] for name in series]] for i, x in enumerate(xs)]
+    table = render_table(headers, rows, precision=precision)
+    return f"{title}\n{table}" if title else table

@@ -1,0 +1,242 @@
+"""Command-line interface: ``repro-sched`` (or ``python -m repro``).
+
+Subcommands
+-----------
+
+``run``
+    Simulate one scheduler over a synthetic or SWF trace and print the
+    per-category report.
+``compare``
+    Run the paper's standard scheme set over one trace and print the
+    comparison matrices.
+``experiment``
+    Regenerate a paper table/figure group by id (see ``--list``).
+
+Examples
+--------
+
+::
+
+    repro-sched run --trace CTC --scheduler ss --sf 2 --jobs 2000
+    repro-sched compare --trace SDSC --jobs 1500 --metric turnaround
+    repro-sched experiment figs-7-10 --trace CTC
+    repro-sched experiment --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.analysis.report import experiment_report, scheme_comparison_report
+from repro.core.immediate_service import ImmediateServiceScheduler
+from repro.core.overhead import DiskSwapOverheadModel
+from repro.core.selective_suspension import SelectiveSuspensionScheduler
+from repro.core.tss import TunableSelectiveSuspensionScheduler
+from repro.experiments import paper
+from repro.experiments.runner import compare_schemes, simulate, standard_schemes
+from repro.schedulers.base import Scheduler
+from repro.schedulers.conservative import ConservativeBackfillScheduler
+from repro.schedulers.easy import EasyBackfillScheduler
+from repro.schedulers.fcfs import FCFSScheduler
+from repro.workload.archive import get_preset
+from repro.workload.estimates import AccurateEstimates, InaccurateEstimates
+from repro.workload.load import scale_load
+from repro.workload.swf import jobs_from_swf_records, read_swf
+from repro.workload.synthetic import generate_trace
+
+#: experiment id -> (function, needs-trace)
+EXPERIMENTS: dict[str, tuple[Callable[..., paper.ExperimentOutput], bool]] = {
+    "distribution": (paper.job_distribution, True),
+    "tables-4-5": (paper.ns_baseline_slowdowns, True),
+    "figs-4-6": (paper.two_task_figures, False),
+    "figs-7-10": (paper.ss_average_metrics, True),
+    "figs-11-16": (paper.ss_worst_case, True),
+    "figs-13-18": (paper.tss_worst_case, True),
+    "figs-19-30": (paper.estimate_impact, True),
+    "figs-31-34": (paper.overhead_impact, True),
+    "figs-35-44": (paper.load_variation, True),
+}
+
+
+def _build_scheduler(args: argparse.Namespace) -> Scheduler:
+    kind = args.scheduler.lower()
+    if kind == "fcfs":
+        return FCFSScheduler()
+    if kind in ("easy", "ns"):
+        return EasyBackfillScheduler()
+    if kind in ("conservative", "cons"):
+        return ConservativeBackfillScheduler()
+    if kind == "gang":
+        from repro.schedulers.gang import GangScheduler
+
+        return GangScheduler()
+    if kind == "relaxed":
+        from repro.schedulers.relaxed import RelaxedBackfillScheduler
+
+        return RelaxedBackfillScheduler()
+    if kind in ("spec", "speculative"):
+        from repro.schedulers.speculative import SpeculativeBackfillScheduler
+
+        return SpeculativeBackfillScheduler()
+    if kind == "ss":
+        return SelectiveSuspensionScheduler(suspension_factor=args.sf)
+    if kind == "tss":
+        return TunableSelectiveSuspensionScheduler(suspension_factor=args.sf)
+    if kind == "is":
+        return ImmediateServiceScheduler()
+    raise SystemExit(f"unknown scheduler {args.scheduler!r}")
+
+
+def _load_jobs(args: argparse.Namespace) -> tuple[list, int]:
+    """Returns (jobs, n_procs) from either --swf or the preset generator."""
+    if getattr(args, "swf", None):
+        preset = get_preset(args.trace)
+        records = read_swf(args.swf)
+        jobs = jobs_from_swf_records(records, max_procs=preset.n_procs)
+        if args.jobs and args.jobs < len(jobs):
+            jobs = jobs[: args.jobs]
+        n_procs = preset.n_procs
+    else:
+        estimates = (
+            InaccurateEstimates() if args.estimates == "inaccurate" else AccurateEstimates()
+        )
+        jobs = generate_trace(
+            args.trace, n_jobs=args.jobs, seed=args.seed, estimate_model=estimates
+        )
+        n_procs = get_preset(args.trace).n_procs
+    if args.load != 1.0:
+        jobs = scale_load(jobs, args.load)
+    return jobs, n_procs
+
+
+def _add_trace_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace", default="CTC", help="preset: CTC, SDSC or KTH")
+    p.add_argument("--jobs", type=int, default=2000, help="number of jobs")
+    p.add_argument("--seed", type=int, default=7, help="workload seed")
+    p.add_argument("--load", type=float, default=1.0, help="load factor (section VI)")
+    p.add_argument(
+        "--estimates",
+        choices=("accurate", "inaccurate"),
+        default="accurate",
+        help="user estimate model (section V)",
+    )
+    p.add_argument("--swf", help="path to a real SWF log (overrides the generator)")
+    p.add_argument(
+        "--overhead",
+        action="store_true",
+        help="enable the disk-swap suspension overhead model (section V-A)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sched",
+        description="Selective preemption strategies for parallel job scheduling "
+        "(reproduction of Kettimuthu et al., ICPP 2002)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one scheduler over one trace")
+    _add_trace_args(run)
+    run.add_argument(
+        "--scheduler",
+        default="ss",
+        help="fcfs | easy/ns | conservative | relaxed | speculative | gang | ss | tss | is",
+    )
+    run.add_argument("--sf", type=float, default=2.0, help="suspension factor")
+    run.add_argument(
+        "--metric", choices=("slowdown", "turnaround", "wait"), default="slowdown"
+    )
+
+    cmp_ = sub.add_parser("compare", help="paper's standard scheme comparison")
+    _add_trace_args(cmp_)
+    cmp_.add_argument(
+        "--metric", choices=("slowdown", "turnaround", "wait"), default="slowdown"
+    )
+    cmp_.add_argument(
+        "--statistic", choices=("mean", "worst"), default="mean"
+    )
+
+    exp = sub.add_parser("experiment", help="regenerate a paper table/figure group")
+    exp.add_argument("exp_id", nargs="?", help="experiment id (see --list)")
+    exp.add_argument("--list", action="store_true", help="list experiment ids")
+    exp.add_argument("--trace", default="CTC")
+    exp.add_argument("--jobs", type=int, default=paper.DEFAULT_N_JOBS)
+    exp.add_argument("--seed", type=int, default=paper.DEFAULT_SEED)
+
+    ins = sub.add_parser("inspect", help="characterise a workload (section III style)")
+    _add_trace_args(ins)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    try:
+        return _dispatch(build_parser().parse_args(argv))
+    except BrokenPipeError:
+        # output piped into a pager/head that closed early -- not an error
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+
+    if args.command == "run":
+        jobs, n_procs = _load_jobs(args)
+        overhead = DiskSwapOverheadModel() if args.overhead else None
+        result = simulate(jobs, _build_scheduler(args), n_procs, overhead)
+        print(
+            experiment_report(
+                f"{args.trace}: {result.scheduler}", result, metric=args.metric
+            )
+        )
+        return 0
+
+    if args.command == "compare":
+        jobs, n_procs = _load_jobs(args)
+        overhead = DiskSwapOverheadModel() if args.overhead else None
+        results = compare_schemes(jobs, n_procs, standard_schemes(), overhead)
+        print(
+            scheme_comparison_report(
+                f"{args.trace}: scheme comparison",
+                results,
+                metric=args.metric,
+                statistic=args.statistic,
+            )
+        )
+        return 0
+
+    if args.command == "inspect":
+        from repro.workload.stats import format_stats, workload_stats
+
+        jobs, n_procs = _load_jobs(args)
+        print(format_stats(workload_stats(jobs), n_procs=n_procs))
+        return 0
+
+    if args.command == "experiment":
+        if args.list or not args.exp_id:
+            print("available experiments:")
+            for key in EXPERIMENTS:
+                print(f"  {key}")
+            return 0 if args.list else 2
+        if args.exp_id not in EXPERIMENTS:
+            print(f"unknown experiment {args.exp_id!r}; try --list", file=sys.stderr)
+            return 2
+        fn, needs_trace = EXPERIMENTS[args.exp_id]
+        if needs_trace:
+            out = fn(trace=args.trace, n_jobs=args.jobs, seed=args.seed)
+        else:
+            out = fn()
+        print(out.report)
+        return 0
+
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,247 @@
+"""The Selective Suspension (SS) scheduler -- section IV.
+
+Policy summary
+--------------
+
+* **No reservations.**  Start-time guarantees are meaningless when a
+  started job can be suspended again, and the xfactor priority already
+  rules out starvation: any waiting job's priority grows without bound,
+  so it eventually clears the SF threshold against *some* victim
+  (section IV-B).  Queued jobs simply start greedily whenever they fit
+  on free processors, highest priority first.
+* **Preemption sweep.**  Every ``preemption_interval`` seconds (60 s in
+  the paper) the scheduler walks the idle queue in descending suspension
+  priority and, for each job that does not fit, tries to assemble enough
+  processors by suspending running jobs that clear the SF threshold --
+  walking victims in ascending priority, then actually suspending the
+  *widest* candidates first and stopping as soon as the count is met
+  (the paper's ``suspend_jobs_1``).
+* **Half-width rule.**  A fresh idle job may only suspend victims at
+  most twice its own width, so sequential jobs cannot chip away at very
+  wide jobs (section IV-B).
+* **Local re-entry.**  A previously suspended job needs *exactly* its
+  original processors back.  Every running job overlapping that set must
+  clear the SF threshold or the resume fails this sweep; the half-width
+  rule is waived here, otherwise a narrow squatter could pin a wide job
+  forever (section IV-C, ``suspend_jobs_2``).
+
+The TSS refinement (per-category preemption limits) plugs in through
+:meth:`SelectiveSuspensionScheduler.victim_preemptable`, which TSS
+overrides.
+"""
+
+from __future__ import annotations
+
+from repro.core.priorities import PreemptionCriteria, suspension_priority
+from repro.schedulers.base import Scheduler
+from repro.workload.job import Job
+
+
+class SelectiveSuspensionScheduler(Scheduler):
+    """SS: xfactor-thresholded preemptive backfilling (section IV).
+
+    Parameters
+    ----------
+    suspension_factor:
+        The SF threshold; the paper evaluates 1.5, 2 and 5.
+    preemption_interval:
+        Seconds between preemption sweeps (paper: 60).
+    width_rule:
+        Enable the half-width restriction for fresh starts (paper: on;
+        exposed for the ablation bench).
+    """
+
+    def __init__(
+        self,
+        suspension_factor: float = 2.0,
+        preemption_interval: float = 60.0,
+        width_rule: bool = True,
+    ) -> None:
+        super().__init__()
+        if preemption_interval <= 0:
+            raise ValueError("preemption interval must be positive")
+        self.criteria = PreemptionCriteria(
+            suspension_factor=suspension_factor, width_rule=width_rule
+        )
+        self.timer_interval = float(preemption_interval)
+        self.name = f"SS(SF={suspension_factor:g})"
+
+    # ------------------------------------------------------------------
+    # hooks
+    # ------------------------------------------------------------------
+    def on_arrival(self, job: Job) -> None:
+        self.sweep(allow_suspension=False)
+
+    def on_finish(self, job: Job) -> None:
+        self.sweep(allow_suspension=False)
+
+    def on_timer(self) -> None:
+        self.sweep(allow_suspension=True)
+
+    # ------------------------------------------------------------------
+    # the sweep
+    # ------------------------------------------------------------------
+    def sweep(self, allow_suspension: bool) -> None:
+        """One pass over the idle queue in descending suspension priority.
+
+        With ``allow_suspension=False`` this is plain greedy backfilling
+        onto free processors (what arrivals and completions trigger);
+        with ``True`` it is the full periodic preemption routine.
+        """
+        driver = self.driver
+        assert driver is not None
+        now = driver.now
+        idle = sorted(
+            driver.queued_jobs(),
+            key=lambda j: (-suspension_priority(j, now), j.submit_time, j.job_id),
+        )
+        for job in idle:
+            if job.needs_specific_procs:
+                self._try_resume(job, allow_suspension)
+            else:
+                self._try_start(job, allow_suspension)
+
+    # ------------------------------------------------------------------
+    # fresh starts (pseudocode path suspend_jobs_1)
+    # ------------------------------------------------------------------
+    def _pinned_procs(self) -> set[int]:
+        """Processors some suspended job must reacquire to resume."""
+        driver = self.driver
+        assert driver is not None
+        pinned: set[int] = set()
+        for j in driver.queued_jobs():
+            if j.needs_specific_procs:
+                pinned |= j.suspended_procs
+        return pinned
+
+    def _place(self, job: Job, preferred: frozenset[int] = frozenset()) -> frozenset[int]:
+        """Choose processors for a fresh start.
+
+        Priority order: (1) *preferred* (the just-suspended victims'
+        processors, per the pseudocode's ``available_processor_set`` --
+        so a victim unpins the moment its preemptor finishes), (2) free
+        processors no suspended job is waiting for, (3) the rest.
+        Skipping pinned processors where possible keeps suspended jobs'
+        resume sets clear, which is what lets SS hold NS-level
+        utilisation under load.
+        """
+        driver = self.driver
+        assert driver is not None
+        free = driver.cluster.free_set()
+        pinned = self._pinned_procs()
+        chosen: list[int] = sorted(preferred & free)[: job.procs]
+        if len(chosen) < job.procs:
+            taken = set(chosen)
+            unpinned = sorted(free - taken - pinned)
+            chosen.extend(unpinned[: job.procs - len(chosen)])
+        if len(chosen) < job.procs:
+            taken = set(chosen)
+            rest = sorted(free - taken)
+            chosen.extend(rest[: job.procs - len(chosen)])
+        return frozenset(chosen)
+
+    def _try_start(self, job: Job, allow_suspension: bool) -> bool:
+        driver = self.driver
+        assert driver is not None
+        if driver.cluster.can_allocate(job.procs):
+            driver.start_job(job, procs=self._place(job))
+            return True
+        if not allow_suspension:
+            return False
+
+        now = driver.now
+        idle_priority = suspension_priority(job, now)
+        candidates: list[Job] = []
+        available = driver.cluster.free_count
+        # Victims in ascending priority: cheapest (least entitled) first.
+        for victim in sorted(
+            driver.running_jobs(),
+            key=lambda r: (suspension_priority(r, now), r.job_id),
+        ):
+            if available + sum(len(c.allocated_procs) for c in candidates) >= job.procs:
+                break
+            if not self.victim_preemptable(victim, now):
+                continue
+            if not self.criteria.priority_allows(
+                idle_priority, suspension_priority(victim, now)
+            ):
+                continue
+            if not self.criteria.width_allows(
+                job.procs, len(victim.allocated_procs), reentry=False
+            ):
+                continue
+            candidates.append(victim)
+
+        if available + sum(len(c.allocated_procs) for c in candidates) < job.procs:
+            return False
+
+        # Suspend the widest candidates first, stopping once the request
+        # is covered (the paper sorts the candidate set in descending
+        # processor count so the fewest jobs are disturbed).
+        freed: set[int] = set()
+        for victim in sorted(
+            candidates, key=lambda c: (-len(c.allocated_procs), c.job_id)
+        ):
+            if driver.cluster.free_count >= job.procs:
+                break
+            freed |= victim.allocated_procs
+            driver.suspend_job(victim)
+        if driver.cluster.free_count >= job.procs:
+            # run the preemptor on its victims' processors (the
+            # pseudocode's available_processor_set) so each victim's
+            # resume set clears when the preemptor finishes
+            driver.start_job(job, procs=self._place(job, preferred=frozenset(freed)))
+            return True
+        return False  # pragma: no cover - candidate arithmetic guarantees start
+
+    # ------------------------------------------------------------------
+    # re-entry of suspended jobs (pseudocode path suspend_jobs_2)
+    # ------------------------------------------------------------------
+    def _try_resume(self, job: Job, allow_suspension: bool) -> bool:
+        driver = self.driver
+        assert driver is not None
+        needed = job.suspended_procs
+        if driver.cluster.can_allocate_specific(needed):
+            driver.start_job(job)
+            return True
+        if not allow_suspension:
+            return False
+
+        now = driver.now
+        idle_priority = suspension_priority(job, now)
+        owner_ids = driver.cluster.owners_overlapping(needed)
+        owners = [r for r in driver.running_jobs() if r.job_id in owner_ids]
+        if len(owners) != len(owner_ids):  # pragma: no cover - defensive
+            return False
+        # Every squatter must clear the SF threshold (no width rule on
+        # re-entry); one protected occupant blocks the whole resume.
+        for victim in owners:
+            if not self.victim_preemptable(victim, now):
+                return False
+            if not self.criteria.priority_allows(
+                idle_priority, suspension_priority(victim, now)
+            ):
+                return False
+        for victim in sorted(owners, key=lambda o: o.job_id):
+            driver.suspend_job(victim)
+        if driver.cluster.can_allocate_specific(needed):
+            driver.start_job(job)
+            return True
+        return False  # pragma: no cover - owners covered all of `needed`
+
+    # ------------------------------------------------------------------
+    # TSS extension point
+    # ------------------------------------------------------------------
+    def victim_preemptable(self, victim: Job, now: float) -> bool:
+        """Whether policy allows suspending *victim* at all.
+
+        Plain SS never protects a running job; TSS overrides this with
+        the per-category limit test.
+        """
+        return True
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}, sweep every {self.timer_interval:g}s, "
+            f"width rule {'on' if self.criteria.width_rule else 'off'}"
+        )

@@ -1,0 +1,203 @@
+"""Two-task alternation theory (section IV-A, Figs 4-6).
+
+Setup: two identical tasks T1 and T2, each needing the whole machine for
+``L`` seconds, submitted together into an empty system.  One starts; the
+other waits until its suspension priority reaches ``SF`` times the
+runner's, preempts, and the roles swap.  The suspension factor controls
+how many swaps happen before one of them completes.
+
+The paper derives the swap count with a priority that keeps growing
+with *elapsed time since submission* ("age-based" below) and obtains the
+golden ratio as the at-most-one-suspension threshold.  Its formal
+definition of the xfactor, however, freezes the priority while a task
+runs ("frozen" below, and what the SS scheduler implements); under that
+semantics the thresholds close to ``2**(1/(n+1))``.  Both recurrences
+are implemented here so tests and the figure bench can exhibit each
+regime and the discrepancy is documented rather than hidden:
+
+========================  =============  =============
+at most n suspensions     frozen          age-based
+========================  =============  =============
+n = 0                     2.0            2.0
+n = 1                     sqrt(2) 1.414  golden 1.618
+n = 2                     2^(1/3) 1.260  ~1.353
+========================  =============  =============
+
+:func:`two_task_timeline` runs the exact recurrence (no event-driven
+simulator, no sweep granularity); the integration test cross-checks it
+against the full SS scheduler with a fine preemption interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: safety valve for SF ~ 1, where alternation counts explode
+_MAX_SEGMENTS = 100_000
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One uninterrupted run period in the two-task schedule."""
+
+    task: int  # 1 or 2
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class TwoTaskOutcome:
+    """The alternation pattern for one (SF, semantics) combination."""
+
+    suspension_factor: float
+    semantics: str  # "frozen" or "age"
+    segments: tuple[Segment, ...]
+    #: total preemptions that occurred
+    suspensions: int
+    #: completion times of task 1 and task 2
+    finish: tuple[float, float]
+
+    @property
+    def makespan(self) -> float:
+        return max(self.finish)
+
+
+def two_task_timeline(
+    suspension_factor: float,
+    length: float = 1.0,
+    semantics: str = "frozen",
+    max_suspensions: int = 10_000,
+    min_interval: float = 0.0,
+) -> TwoTaskOutcome:
+    """Exact alternation schedule of two identical whole-machine tasks.
+
+    Parameters
+    ----------
+    suspension_factor:
+        SF >= 1.  At 1 the tasks alternate indefinitely (bounded only by
+        *max_suspensions* here, by the sweep granularity in the paper).
+    length:
+        Each task's run time ``L``.
+    semantics:
+        ``"frozen"`` -- priority constant while running (the xfactor as
+        formally defined; what the SS implementation does);
+        ``"age"`` -- priority keeps growing while running (the variant
+        implicit in the paper's prose derivation).
+    max_suspensions:
+        Cap for the SF -> 1 regime.
+    min_interval:
+        The preemption-sweep granularity: a preemption cannot occur
+        before the runner has run this long (the paper's Fig 4 shows
+        SF = 1 alternating at exactly this granularity, "t" in its
+        caption).  0 means continuous preemption, under which SF = 1
+        degenerates to infinitesimal time-sharing.
+
+    Notes
+    -----
+    Exact arithmetic on the recurrence; a preemption happens the instant
+    the waiter's priority crosses ``SF x`` the runner's frozen priority.
+    """
+    if suspension_factor < 1.0:
+        raise ValueError(f"SF must be >= 1, got {suspension_factor}")
+    if length <= 0:
+        raise ValueError(f"length must be positive, got {length}")
+    if semantics not in ("frozen", "age"):
+        raise ValueError(f"semantics must be 'frozen' or 'age', got {semantics!r}")
+
+    s, L = float(suspension_factor), float(length)
+    now = 0.0
+    runner, waiter = 0, 1  # task indices; task 1 starts (paper's T1)
+    done = [0.0, 0.0]
+    waited = [0.0, 0.0]
+    #: runner's frozen priority at dispatch (frozen semantics)
+    segments: list[Segment] = []
+    suspensions = 0
+    finish = [0.0, 0.0]
+
+    while True:
+        if len(segments) >= _MAX_SEGMENTS:  # pragma: no cover - safety valve
+            raise RuntimeError("two-task recurrence failed to terminate")
+        remaining = L - done[runner]
+        if semantics == "frozen":
+            runner_priority = (waited[runner] + L) / L
+            # waiter preempts when (waited + dt + L)/L >= s * runner_priority
+            wait_needed = s * runner_priority * L - L - waited[waiter]
+        else:  # age: priority = (now + L) / L for both, runner's frozen at dispatch
+            runner_priority = (now + L) / L
+            # waiter's age priority reaches s * runner_priority at time t*:
+            # (t* + L)/L = s * runner_priority  =>  t* = s*runner_priority*L - L
+            wait_needed = (s * runner_priority * L - L) - now
+        preempt_dt = max(wait_needed, 0.0, min_interval)
+
+        if suspensions >= max_suspensions or remaining <= preempt_dt + 1e-12:
+            # runner completes; waiter then runs to completion unopposed
+            end = now + remaining
+            segments.append(Segment(task=runner + 1, start=now, end=end))
+            finish[runner] = end
+            waited[waiter] += remaining
+            done[runner] = L
+            tail = L - done[waiter]
+            segments.append(Segment(task=waiter + 1, start=end, end=end + tail))
+            finish[waiter] = end + tail
+            break
+
+        # a preemption happens after preempt_dt
+        end = now + preempt_dt
+        if preempt_dt > 0:
+            segments.append(Segment(task=runner + 1, start=now, end=end))
+        done[runner] += preempt_dt
+        waited[waiter] += preempt_dt
+        now = end
+        runner, waiter = waiter, runner
+        suspensions += 1
+
+    merged = _merge_adjacent(segments)
+    return TwoTaskOutcome(
+        suspension_factor=s,
+        semantics=semantics,
+        segments=tuple(merged),
+        suspensions=suspensions,
+        finish=(finish[0], finish[1]),
+    )
+
+
+def _merge_adjacent(segments: list[Segment]) -> list[Segment]:
+    """Merge zero-length and back-to-back same-task segments."""
+    out: list[Segment] = []
+    for seg in segments:
+        if seg.duration <= 0:
+            continue
+        if out and out[-1].task == seg.task and abs(out[-1].end - seg.start) < 1e-12:
+            out[-1] = Segment(task=seg.task, start=out[-1].start, end=seg.end)
+        else:
+            out.append(seg)
+    return out
+
+
+def suspension_count(suspension_factor: float, semantics: str = "frozen") -> int:
+    """Number of suspensions for two unit tasks at the given SF."""
+    return two_task_timeline(suspension_factor, semantics=semantics).suspensions
+
+
+def threshold_for_max_suspensions(n: int, semantics: str = "frozen") -> float:
+    """Minimal SF giving at most *n* suspensions, by bisection on the recurrence.
+
+    Cross-checks the closed forms: ``2**(1/(n+1))`` for frozen
+    semantics; 2 and the golden ratio for age-based n = 0, 1.
+    """
+    if n < 0:
+        raise ValueError(f"n must be nonnegative, got {n}")
+    lo, hi = 1.0 + 1e-9, 2.0
+    if suspension_count(hi, semantics) > n:  # pragma: no cover - n>=0 => false
+        raise RuntimeError("SF=2 should never exceed zero suspensions")
+    for _ in range(80):
+        mid = (lo + hi) / 2.0
+        if suspension_count(mid, semantics) > n:
+            lo = mid
+        else:
+            hi = mid
+    return hi

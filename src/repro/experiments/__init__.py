@@ -1,0 +1,17 @@
+"""Experiment harness: run schemes over traces, regenerate paper results.
+
+* :mod:`repro.experiments.runner` -- :func:`simulate` (one policy, one
+  trace) and :func:`compare_schemes` (the paper's standard scheme set
+  over one trace).
+* :mod:`repro.experiments.paper` -- one entry per paper table/figure;
+  each returns the rows/series the paper plots, as plain data.
+"""
+
+from repro.experiments.runner import (
+    SchemeSpec,
+    compare_schemes,
+    simulate,
+    standard_schemes,
+)
+
+__all__ = ["SchemeSpec", "compare_schemes", "simulate", "standard_schemes"]

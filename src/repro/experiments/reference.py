@@ -1,0 +1,68 @@
+"""Published numbers from the paper, for side-by-side comparison.
+
+Only values printed in the paper's tables or stated in its text are
+recorded here; figure bar heights that can only be eyeballed are
+captured as qualitative *claims* (see :data:`PAPER_CLAIMS`) that the
+shape-checking tests assert against simulated output.
+"""
+
+from __future__ import annotations
+
+#: Table II -- CTC job distribution by category (fraction of jobs).
+PAPER_TABLE_2_CTC_SHARES: dict[tuple[str, str], float] = {
+    ("VS", "Seq"): 0.14, ("VS", "N"): 0.08, ("VS", "W"): 0.13, ("VS", "VW"): 0.09,
+    ("S", "Seq"): 0.18, ("S", "N"): 0.04, ("S", "W"): 0.06, ("S", "VW"): 0.02,
+    ("L", "Seq"): 0.06, ("L", "N"): 0.03, ("L", "W"): 0.09, ("L", "VW"): 0.02,
+    ("VL", "Seq"): 0.02, ("VL", "N"): 0.02, ("VL", "W"): 0.01, ("VL", "VW"): 0.01,
+}
+
+#: Table III -- SDSC job distribution by category.
+PAPER_TABLE_3_SDSC_SHARES: dict[tuple[str, str], float] = {
+    ("VS", "Seq"): 0.08, ("VS", "N"): 0.29, ("VS", "W"): 0.09, ("VS", "VW"): 0.04,
+    ("S", "Seq"): 0.02, ("S", "N"): 0.08, ("S", "W"): 0.05, ("S", "VW"): 0.03,
+    ("L", "Seq"): 0.08, ("L", "N"): 0.05, ("L", "W"): 0.06, ("L", "VW"): 0.01,
+    ("VL", "Seq"): 0.03, ("VL", "N"): 0.05, ("VL", "W"): 0.03, ("VL", "VW"): 0.01,
+}
+
+#: Table IV -- average bounded slowdown per category, NS scheme, CTC.
+PAPER_TABLE_4_CTC_NS_SLOWDOWN: dict[tuple[str, str], float] = {
+    ("VS", "Seq"): 2.6, ("VS", "N"): 4.76, ("VS", "W"): 13.01, ("VS", "VW"): 34.07,
+    ("S", "Seq"): 1.26, ("S", "N"): 1.76, ("S", "W"): 3.04, ("S", "VW"): 7.14,
+    ("L", "Seq"): 1.13, ("L", "N"): 1.43, ("L", "W"): 1.88, ("L", "VW"): 1.63,
+    ("VL", "Seq"): 1.03, ("VL", "N"): 1.05, ("VL", "W"): 1.09, ("VL", "VW"): 1.15,
+}
+
+#: Table V -- average bounded slowdown per category, NS scheme, SDSC.
+PAPER_TABLE_5_SDSC_NS_SLOWDOWN: dict[tuple[str, str], float] = {
+    ("VS", "Seq"): 2.53, ("VS", "N"): 14.41, ("VS", "W"): 37.78, ("VS", "VW"): 113.31,
+    ("S", "Seq"): 1.15, ("S", "N"): 2.43, ("S", "W"): 4.83, ("S", "VW"): 15.56,
+    ("L", "Seq"): 1.19, ("L", "N"): 1.24, ("L", "W"): 1.96, ("L", "VW"): 2.79,
+    ("VL", "Seq"): 1.03, ("VL", "N"): 1.09, ("VL", "W"): 1.18, ("VL", "VW"): 1.43,
+}
+
+#: Overall NS bounded slowdowns stated in section III.
+PAPER_OVERALL_NS_SLOWDOWN = {"CTC": 3.58, "SDSC": 14.13}
+
+#: Saturation load factors from Figs 35/38.
+PAPER_SATURATION_LOAD = {"CTC": 1.6, "SDSC": 1.3}
+
+#: Stated VS-VW improvements (section IV-D): NS -> SS(SF=2).
+PAPER_VSVW_IMPROVEMENT = {
+    "CTC": {"ns": 34.0, "ss_sf2_max": 3.0},
+    "SDSC": {"ns": 113.0, "ss_sf2_max": 7.0},
+}
+
+#: Qualitative claims the shape tests assert (section -> claim).
+PAPER_CLAIMS: dict[str, str] = {
+    "IV-D-1": "SS gives significant benefit over NS for VS and S categories",
+    "IV-D-2": "SS slightly degrades the VL categories relative to NS",
+    "IV-D-3": "lower SF lowers slowdown for VS/S; the opposite for VL",
+    "IV-D-4": "IS beats SS only on VS categories; SS wins everywhere else",
+    "IV-E-1": "TSS improves worst-case turnaround for many categories "
+    "without hurting the others",
+    "V-1": "with inaccurate estimates, badly estimated short jobs are the "
+    "ones SS penalises",
+    "V-A-1": "suspension overhead barely affects SS performance",
+    "VI-1": "SS's advantage over NS grows with load",
+    "VI-2": "IS achieves markedly lower utilisation than SS/NS",
+}

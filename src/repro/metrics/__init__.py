@@ -1,0 +1,44 @@
+"""Metrics: the paper's evaluation quantities.
+
+* :mod:`repro.metrics.slowdown` -- bounded slowdown (eq. 1), turnaround,
+  wait time.
+* :mod:`repro.metrics.aggregate` -- per-category averages / worst cases /
+  counts over a simulation result, including the section V split by
+  estimation quality and the section VI 4-way grid.
+* :mod:`repro.metrics.utilization` -- overall utilisation and busy-time
+  accounting helpers.
+
+All metrics are pure functions over finished jobs (or the
+:class:`~repro.sim.driver.SimulationResult`), so the same result can be
+sliced every way the paper reports without re-simulating.
+"""
+
+from repro.metrics.slowdown import (
+    BOUNDED_SLOWDOWN_THRESHOLD,
+    bounded_slowdown,
+    turnaround_time,
+    wait_time,
+)
+from repro.metrics.aggregate import (
+    CategoryStats,
+    MetricSummary,
+    overall_stats,
+    per_category_stats,
+    per_category_worst,
+    split_by_estimate_quality,
+)
+from repro.metrics.utilization import utilization_of
+
+__all__ = [
+    "BOUNDED_SLOWDOWN_THRESHOLD",
+    "CategoryStats",
+    "MetricSummary",
+    "bounded_slowdown",
+    "overall_stats",
+    "per_category_stats",
+    "per_category_worst",
+    "split_by_estimate_quality",
+    "turnaround_time",
+    "utilization_of",
+    "wait_time",
+]

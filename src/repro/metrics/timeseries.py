@@ -1,0 +1,100 @@
+"""Time-series instrumentation of a running simulation.
+
+The paper's aggregate metrics hide dynamics: how deep the queue gets,
+how many suspended jobs exist at once, how busy the machine is through
+time.  A :class:`StateProbe` attached to the driver samples those
+trajectories at a fixed cadence (decimated -- at most one sample per
+interval regardless of event density), for plots, saturation analysis
+and the diagnosis-style tests that caught the pinned-backlog effect
+documented in DESIGN.md §3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.driver import SchedulingSimulation
+
+
+@dataclass(frozen=True)
+class StateSample:
+    """One snapshot of simulation state."""
+
+    time: float
+    running: int
+    queued_fresh: int
+    queued_suspended: int
+    busy_procs: int
+    free_procs: int
+
+    @property
+    def queued(self) -> int:
+        return self.queued_fresh + self.queued_suspended
+
+
+@dataclass
+class StateProbe:
+    """Samples driver state at most once per *interval* seconds.
+
+    Attach via ``SchedulingSimulation(..., probe=probe)``; the driver
+    calls :meth:`maybe_sample` after every event.
+    """
+
+    interval: float = 600.0
+    samples: list[StateSample] = field(default_factory=list)
+    _next_due: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError("probe interval must be positive")
+
+    def maybe_sample(self, driver: "SchedulingSimulation") -> None:
+        """Record a snapshot if the cadence allows."""
+        if driver.now < self._next_due:
+            return
+        self._next_due = driver.now + self.interval
+        queued = driver.queued_jobs()
+        suspended = sum(1 for j in queued if j.needs_specific_procs)
+        self.samples.append(
+            StateSample(
+                time=driver.now,
+                running=driver.running_count,
+                queued_fresh=len(queued) - suspended,
+                queued_suspended=suspended,
+                busy_procs=driver.cluster.busy_count,
+                free_procs=driver.cluster.free_count,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # series accessors
+    # ------------------------------------------------------------------
+    def times(self) -> list[float]:
+        return [s.time for s in self.samples]
+
+    def series(self, name: str) -> list[float]:
+        """Named series: running / queued / queued_fresh /
+        queued_suspended / busy_procs / free_procs / utilization."""
+        if name == "utilization":
+            return [
+                s.busy_procs / (s.busy_procs + s.free_procs)
+                if (s.busy_procs + s.free_procs)
+                else 0.0
+                for s in self.samples
+            ]
+        try:
+            return [float(getattr(s, name)) for s in self.samples]
+        except AttributeError as exc:
+            raise KeyError(f"unknown series {name!r}") from exc
+
+    def peak(self, name: str) -> float:
+        """Maximum of a named series (0 if no samples)."""
+        values = self.series(name)
+        return max(values) if values else 0.0
+
+    def mean(self, name: str) -> float:
+        """Mean of a named series (0 if no samples)."""
+        values = self.series(name)
+        return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,98 @@
+"""The scheduler interface.
+
+A scheduler is a policy object driven by the simulation driver
+(:class:`~repro.sim.driver.SchedulingSimulation`).  The driver owns all
+*mechanism* -- job state transitions, processor accounting, finish
+events, metrics.  The scheduler owns all *policy*: which queued job to
+start, when, and (for preemptive schemes) which running jobs to suspend.
+
+Contract
+--------
+
+* The driver calls :meth:`Scheduler.on_arrival` after a job joined the
+  queue, :meth:`Scheduler.on_finish` after a job's processors were
+  released, and :meth:`Scheduler.on_timer` on each periodic tick (only
+  if :attr:`Scheduler.timer_interval` is not ``None``).
+* Inside a hook the scheduler may call ``self.driver.start_job(job)``
+  and ``self.driver.suspend_job(job)``; both take effect immediately
+  (processors move synchronously), so the scheduler can chain decisions
+  within one hook.
+* The driver's ``queued`` list is in arrival order (suspended jobs
+  re-enter at the tail).  Schedulers must not mutate it; they select
+  jobs and the driver updates the list inside ``start_job``.
+* Schedulers never touch :class:`~repro.workload.job.Job` lifecycle
+  methods directly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.driver import SchedulingSimulation
+    from repro.workload.job import Job
+
+
+class Scheduler(ABC):
+    """Base class for all scheduling policies."""
+
+    #: Human-readable policy name for reports.
+    name: str = "base"
+
+    #: If not ``None``, the driver fires :meth:`on_timer` every this many
+    #: seconds while work remains.  The paper's preemptive schemes use a
+    #: 60 s preemption sweep (section IV-B).
+    timer_interval: float | None = None
+
+    def __init__(self) -> None:
+        self.driver: "SchedulingSimulation | None" = None
+
+    # ------------------------------------------------------------------
+    # driver wiring
+    # ------------------------------------------------------------------
+    def bind(self, driver: "SchedulingSimulation") -> None:
+        """Attach to a driver; called once before the simulation starts."""
+        self.driver = driver
+
+    def on_begin(self) -> None:
+        """Hook called once at simulation start (after binding)."""
+
+    def on_end(self) -> None:
+        """Hook called once when the event calendar drains."""
+
+    # ------------------------------------------------------------------
+    # event hooks
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def on_arrival(self, job: "Job") -> None:
+        """A job was submitted and queued."""
+
+    @abstractmethod
+    def on_finish(self, job: "Job") -> None:
+        """A job finished; its processors are already free."""
+
+    def on_timer(self) -> None:
+        """Periodic tick; only fired when :attr:`timer_interval` is set."""
+
+    def on_kill(self, job: "Job") -> None:
+        """A speculative run of *job* hit its deadline and was requeued.
+
+        Only fired for schedulers that call ``driver.start_speculative``.
+        """
+
+    # ------------------------------------------------------------------
+    # conveniences shared by concrete schedulers
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time (valid inside hooks)."""
+        assert self.driver is not None
+        return self.driver.now
+
+    def describe(self) -> str:
+        """One-line description for report headers."""
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.describe()}>"

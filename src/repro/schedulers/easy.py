@@ -1,0 +1,76 @@
+"""Aggressive (EASY) backfilling -- the paper's **NS** baseline.
+
+Section II-A-2: jobs are kept in arrival order; the first job that
+cannot start receives the *only* reservation, at the earliest time
+enough processors are forecast free.  Any later queued job may jump
+ahead provided it does not delay that reserved head job, i.e. it either
+
+* terminates (by its estimate) before the head's reservation starts, or
+* uses only processors the head will not need at its start time.
+
+Both conditions are captured uniformly by planning against an
+:class:`~repro.schedulers.profiles.AvailabilityProfile` that contains
+the running jobs *and* the head's reservation: a queued job may backfill
+iff the profile admits it starting now for its full estimated duration.
+
+With accurate estimates this is exactly EASY; with over-estimates, jobs
+finish early and the next event re-plans, recovering the released time
+(the paper's section V setting).
+"""
+
+from __future__ import annotations
+
+from repro.schedulers.base import Scheduler
+from repro.schedulers.profiles import AvailabilityProfile
+from repro.workload.job import Job
+
+
+class EasyBackfillScheduler(Scheduler):
+    """EASY/aggressive backfilling over user estimates."""
+
+    name = "EASY"
+
+    def on_arrival(self, job: Job) -> None:
+        self.schedule_pass()
+
+    def on_finish(self, job: Job) -> None:
+        self.schedule_pass()
+
+    # ------------------------------------------------------------------
+    def schedule_pass(self) -> None:
+        """One planning pass: greedy FIFO starts, then backfill."""
+        driver = self.driver
+        assert driver is not None
+
+        # Phase 1: start jobs strictly in queue order while they fit.
+        queue = driver.queued_jobs()
+        started = True
+        while started:
+            started = False
+            queue = driver.queued_jobs()
+            if queue and driver.can_start(queue[0]):
+                driver.start_job(queue[0])
+                started = True
+
+        queue = driver.queued_jobs()
+        if not queue:
+            return
+
+        # Phase 2: the head cannot start; give it the single reservation.
+        head = queue[0]
+        profile = AvailabilityProfile(driver.cluster.n_procs, driver.now)
+        for running in driver.running_jobs():
+            profile.claim_running(len(running.allocated_procs), running.expected_end)
+        head_anchor = profile.find_anchor(head.remaining_estimate(), head.procs)
+        profile.claim(head_anchor, head.remaining_estimate(), head.procs)
+
+        # Phase 3: backfill later jobs that start now without touching
+        # the head's reservation.  Each start updates both the real
+        # cluster and the planning profile.
+        for job in queue[1:]:
+            if not driver.can_start(job):
+                continue
+            duration = job.remaining_estimate()
+            if profile.fits(driver.now, duration, job.procs):
+                driver.start_job(job)
+                profile.claim(driver.now, duration, job.procs)

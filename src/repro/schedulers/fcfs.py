@@ -1,0 +1,34 @@
+"""First-come-first-served scheduling.
+
+The strawman of section II: jobs start strictly in arrival order; if the
+head of the queue does not fit, everything behind it waits, however many
+processors sit idle.  Included as the fragmentation baseline against
+which backfilling's utilisation gain is measured (and as the simplest
+possible correctness reference for the driver).
+"""
+
+from __future__ import annotations
+
+from repro.schedulers.base import Scheduler
+from repro.workload.job import Job
+
+
+class FCFSScheduler(Scheduler):
+    """Strict arrival-order dispatch, no backfilling."""
+
+    name = "FCFS"
+
+    def on_arrival(self, job: Job) -> None:
+        self._dispatch_in_order()
+
+    def on_finish(self, job: Job) -> None:
+        self._dispatch_in_order()
+
+    def _dispatch_in_order(self) -> None:
+        assert self.driver is not None
+        # Start queue-head jobs while they fit; stop at the first that
+        # does not -- that is the whole policy.
+        for job in self.driver.queued_jobs():
+            if not self.driver.can_start(job):
+                break
+            self.driver.start_job(job)

@@ -1,0 +1,165 @@
+"""Processor-availability profiles for backfilling.
+
+Backfilling plans against a forecast of free processors over time: each
+running job is expected to release its processors at its estimate-based
+completion, and each reservation claims processors over a window.
+:class:`AvailabilityProfile` is that forecast -- a piecewise-constant
+step function ``free(t)`` on ``[origin, inf)``.
+
+The representation is a sorted list of ``[time, free]`` breakpoints; the
+value applies from the breakpoint up to the next one, and the final
+breakpoint extends to infinity.  Lookups bisect (O(log n)); claims
+insert at most two breakpoints and decrement a contiguous range (O(n));
+anchor search scans windows (O(n^2) worst case).  Profiles are rebuilt
+per scheduling pass from live state, so n stays at (running jobs +
+queued reservations), which is small for the paper's machines.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+
+class ProfileError(RuntimeError):
+    """Raised when a claim would drive free processors negative."""
+
+
+class AvailabilityProfile:
+    """Forecast of free processors from ``origin`` onward.
+
+    Parameters
+    ----------
+    n_procs:
+        Machine capacity; the initial profile is ``free(t) = n_procs``
+        everywhere.
+    origin:
+        Current simulation time; claims and queries before it are invalid.
+    """
+
+    def __init__(self, n_procs: int, origin: float) -> None:
+        if n_procs <= 0:
+            raise ValueError(f"n_procs must be positive, got {n_procs}")
+        self.n_procs = n_procs
+        self.origin = origin
+        self._times: list[float] = [origin]
+        self._free: list[int] = [n_procs]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def free_at(self, t: float) -> int:
+        """Free processors at time *t* (>= origin)."""
+        if t < self.origin:
+            raise ValueError(f"query at t={t} before origin={self.origin}")
+        idx = bisect_right(self._times, t) - 1
+        return self._free[idx]
+
+    def min_free(self, start: float, end: float) -> int:
+        """Minimum of ``free(t)`` over the window ``[start, end)``."""
+        if end <= start:
+            return self.free_at(start)
+        idx = bisect_right(self._times, start) - 1
+        lo = self._free[idx]
+        idx += 1
+        while idx < len(self._times) and self._times[idx] < end:
+            lo = min(lo, self._free[idx])
+            idx += 1
+        return lo
+
+    def fits(self, start: float, duration: float, count: int) -> bool:
+        """Whether *count* processors are free throughout the window."""
+        return self.min_free(start, start + duration) >= count
+
+    def breakpoints(self) -> list[tuple[float, int]]:
+        """Snapshot of (time, free) steps -- for tests and debugging."""
+        return list(zip(self._times, self._free))
+
+    def clone(self) -> "AvailabilityProfile":
+        """Independent copy (what-if planning without mutating the original)."""
+        copy = AvailabilityProfile(self.n_procs, self.origin)
+        copy._times = list(self._times)
+        copy._free = list(self._free)
+        return copy
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def _ensure_breakpoint(self, t: float) -> int:
+        """Make *t* a breakpoint; return its index."""
+        idx = bisect_right(self._times, t) - 1
+        if self._times[idx] == t:
+            return idx
+        self._times.insert(idx + 1, t)
+        self._free.insert(idx + 1, self._free[idx])
+        return idx + 1
+
+    def claim(self, start: float, duration: float, count: int) -> None:
+        """Reserve *count* processors over ``[start, start + duration)``.
+
+        Raises
+        ------
+        ProfileError
+            If any part of the window lacks *count* free processors --
+            callers must check with :meth:`fits`/:meth:`find_anchor`
+            first; failing loudly here catches planner bugs.
+        """
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        if start < self.origin:
+            raise ValueError(f"claim at t={start} before origin={self.origin}")
+        end = start + duration
+        i0 = self._ensure_breakpoint(start)
+        i1 = self._ensure_breakpoint(end)
+        for i in range(i0, i1):
+            if self._free[i] < count:
+                raise ProfileError(
+                    f"claim of {count} procs over [{start}, {end}) underflows "
+                    f"at t={self._times[i]} (free={self._free[i]})"
+                )
+            self._free[i] -= count
+
+    def claim_running(self, count: int, until: float) -> None:
+        """Account a currently running job: *count* procs busy until *until*."""
+        until = max(until, self.origin + 1.0)  # jobs past their estimate
+        self.claim(self.origin, until - self.origin, count)
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def find_anchor(self, duration: float, count: int, earliest: float | None = None) -> float:
+        """Earliest start >= *earliest* with *count* procs free for *duration*.
+
+        This is the "anchor point" of conservative backfilling (section
+        II-A-1).  Candidates are *earliest* itself and every later
+        breakpoint; a window starting between breakpoints can never be
+        feasible if the window starting at the previous breakpoint was
+        not, because free(t) is constant between breakpoints.
+
+        Always succeeds for ``count <= n_procs``: beyond the last
+        breakpoint the profile returns to its final value, which includes
+        all capacity not claimed forever.
+        """
+        if count > self.n_procs:
+            raise ProfileError(
+                f"{count} processors can never be free on a {self.n_procs}-proc machine"
+            )
+        start = self.origin if earliest is None else max(earliest, self.origin)
+        candidates = [start] + [t for t in self._times if t > start]
+        for t in candidates:
+            if self.fits(t, duration, count):
+                return t
+        # Last resort: after every breakpoint the free count is the final
+        # value; if even that is insufficient a claim was never released,
+        # which is a planner bug.
+        if self._free[-1] >= count:
+            return self._times[-1]
+        raise ProfileError(
+            f"no anchor for count={count}, duration={duration}: profile tail "
+            f"only has {self._free[-1]} free -- unterminated claim?"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        steps = ", ".join(f"{t:g}:{f}" for t, f in zip(self._times, self._free))
+        return f"AvailabilityProfile[{steps}]"

@@ -1,0 +1,31 @@
+"""Discrete-event simulation substrate.
+
+The paper evaluates its scheduling schemes with a "locally developed
+simulator"; this subpackage is that substrate.  It provides:
+
+* :mod:`repro.sim.events` -- typed simulation events and a cancellable,
+  deterministically ordered event calendar.
+* :mod:`repro.sim.engine` -- the single-threaded event loop
+  (:class:`~repro.sim.engine.EventLoop`).
+* :mod:`repro.sim.driver` -- the job-scheduling driver
+  (:class:`~repro.sim.driver.SchedulingSimulation`) that binds a cluster,
+  a scheduler and a workload together and records per-job outcomes.
+
+The engine is deliberately independent of job scheduling: events are
+opaque payloads with a dispatch key, so the same loop could drive other
+models.  Determinism is a hard requirement for reproduction work, so
+simultaneous events are totally ordered by ``(time, priority, sequence)``.
+"""
+
+from repro.sim.engine import EventLoop
+from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.driver import SchedulingSimulation, SimulationResult
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "EventLoop",
+    "SchedulingSimulation",
+    "SimulationResult",
+]

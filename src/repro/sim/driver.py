@@ -1,0 +1,438 @@
+"""The job-scheduling simulation driver.
+
+:class:`SchedulingSimulation` binds together a cluster, a scheduler
+policy and a workload, and owns every piece of *mechanism*:
+
+* arrival / finish / timer event handling;
+* job state transitions and the wait/run clock bookkeeping;
+* processor allocation and release (through the cluster);
+* suspension-overhead charging (pay-on-resume model, see below);
+* utilisation accounting and the finished-job record.
+
+Schedulers (policy) interact with the driver exclusively through
+:meth:`start_job` and :meth:`suspend_job` -- see
+:mod:`repro.schedulers.base` for the contract.
+
+Overhead model
+--------------
+
+Suspension overhead (paper section V-A) is charged to the suspended job
+as *pending overhead*: at suspension we add the cost of writing the
+job's memory image to disk plus the cost of reading it back, and the job
+pays that time at the start of its next run period, before any useful
+progress.  Consequences, all intentional:
+
+* turnaround and slowdown of suspended jobs inflate by the overhead;
+* the preempting job starts immediately (we do not model the victim's
+  write-back blocking its processors -- the paper's conclusion that
+  overhead barely affects SS is insensitive to this, and we verify that
+  with an ablation that doubles the charge);
+* a job re-suspended while still paying overhead has made zero useful
+  progress, so repeated thrashing is maximally punished, which is the
+  conservative direction for evaluating a preemptive scheme.
+
+Determinism
+-----------
+
+All event ordering is deterministic (see :mod:`repro.sim.events`); the
+driver adds no randomness.  Two runs over the same workload and policy
+produce identical schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Protocol
+
+from repro.cluster.machine import Cluster
+from repro.sim.engine import EventLoop, SimulationError
+from repro.sim.events import Event, EventKind
+from repro.workload.job import Job, JobState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.schedulers.base import Scheduler
+
+
+class SuspensionOverheadModel(Protocol):
+    """Anything that can price a suspend/resume cycle for a job."""
+
+    def suspend_resume_cost(self, job: Job) -> float:
+        """Total overhead seconds charged for one suspension of *job*."""
+        ...
+
+
+class StateProbeLike(Protocol):
+    """Anything that can sample driver state (see metrics.timeseries)."""
+
+    def maybe_sample(self, driver: "SchedulingSimulation") -> None: ...
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run.
+
+    All derived metrics (slowdowns, per-category tables, ...) are
+    computed by :mod:`repro.metrics` from the finished jobs here.
+    """
+
+    #: all jobs, finished, in completion order
+    jobs: list[Job]
+    #: machine size
+    n_procs: int
+    #: scheduler policy name
+    scheduler: str
+    #: integral of busy processors over time (processor-seconds)
+    busy_proc_seconds: float
+    #: time of the last completion (trace starts at its first submit)
+    makespan: float
+    #: total suspension operations performed
+    total_suspensions: int
+    #: events dispatched (diagnostics)
+    events_dispatched: int = 0
+    #: speculative runs killed at their deadline (speculative backfilling)
+    total_kills: int = 0
+    #: time of the last job arrival
+    last_arrival: float = 0.0
+    #: busy processor-seconds accumulated up to the last arrival
+    busy_in_arrival_window: float = 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Overall system utilisation in [0, 1] (busy / capacity).
+
+        Computed over the whole schedule, including the drain tail after
+        the last arrival.  For load studies on finite traces prefer
+        :attr:`steady_utilization` -- see its docstring.
+        """
+        if self.makespan <= 0:
+            return 0.0
+        return self.busy_proc_seconds / (self.n_procs * self.makespan)
+
+    @property
+    def steady_utilization(self) -> float:
+        """Utilisation over the arrival window only.
+
+        A finite trace ends with a drain: after the last submission the
+        queue empties and the machine winds down, which depresses the
+        whole-run ratio by an amount that scales with (drain length /
+        trace length).  The paper's traces span months, so its "overall
+        system utilization" is effectively the steady-state value; our
+        shorter synthetic traces make the tail artefact significant --
+        especially for preemptive schemes, whose suspended long jobs
+        serialise during the drain.  This metric reproduces what the
+        paper measured (see EXPERIMENTS.md, Figs 35/38).
+        """
+        if self.last_arrival <= 0:
+            return self.utilization
+        return self.busy_in_arrival_window / (self.n_procs * self.last_arrival)
+
+
+class SchedulingSimulation:
+    """Drives one scheduler policy over one workload on one cluster.
+
+    Parameters
+    ----------
+    cluster:
+        The machine; must be fresh (all processors free).
+    scheduler:
+        The policy object; bound to this driver for the run.
+    overhead_model:
+        Optional suspension-overhead pricing; ``None`` means free
+        suspension (the paper's sections III-IV assumption).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        scheduler: "Scheduler",
+        overhead_model: SuspensionOverheadModel | None = None,
+        migratable: bool = False,
+        probe: "StateProbeLike | None" = None,
+    ) -> None:
+        if cluster.busy_count:
+            raise ValueError("cluster must start empty")
+        self.cluster = cluster
+        self.scheduler = scheduler
+        self.overhead_model = overhead_model
+        #: optional time-series probe (see repro.metrics.timeseries)
+        self.probe = probe
+        #: Parsons & Sevcik's *migratable* model: a suspended job may
+        #: restart on any processors.  The paper's machines do not
+        #: support migration (local restart is the defining constraint);
+        #: this switch exists to quantify that constraint's cost in the
+        #: ablation benches.
+        self.migratable = migratable
+        self.loop = EventLoop()
+        self.loop.on(EventKind.JOB_ARRIVAL, self._handle_arrival)
+        self.loop.on(EventKind.JOB_FINISH, self._handle_finish)
+        self.loop.on(EventKind.TIMER, self._handle_timer)
+        self.loop.on(EventKind.JOB_KILL, self._handle_kill)
+
+        self._queued: dict[int, Job] = {}
+        self._running: set[Job] = set()
+        self._finished: list[Job] = []
+        self._finish_events: dict[int, Event] = {}
+        self._arrivals_pending = 0
+        self.total_suspensions = 0
+        self.total_kills = 0
+
+        # utilisation integral
+        self._busy_seconds = 0.0
+        self._busy_mark = 0.0
+        self._window_busy = 0.0
+        self._window_end = 0.0
+
+    # ------------------------------------------------------------------
+    # read-only views for schedulers & tests
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.loop.now
+
+    def queued_jobs(self) -> list[Job]:
+        """Queued jobs in queue-entry order (arrivals and re-queues)."""
+        return list(self._queued.values())
+
+    def running_jobs(self) -> list[Job]:
+        """Currently running jobs (unordered set, returned as a list)."""
+        return list(self._running)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queued)
+
+    @property
+    def running_count(self) -> int:
+        return len(self._running)
+
+    # ------------------------------------------------------------------
+    # scheduler services
+    # ------------------------------------------------------------------
+    def can_start(self, job: Job) -> bool:
+        """Whether *job* could start right now on free processors."""
+        if job.needs_specific_procs:
+            return self.cluster.can_allocate_specific(job.suspended_procs)
+        return self.cluster.can_allocate(job.procs)
+
+    def start_job(self, job: Job, procs: frozenset[int] | None = None) -> frozenset[int]:
+        """(Re)start a queued job immediately; returns its processors.
+
+        Resumed jobs receive exactly their original processor set (local
+        preemption).  For fresh starts, *procs* lets the scheduler place
+        the job explicitly (the SS pseudocode schedules a preemptor on
+        its victims' processors so they unpin when it finishes);
+        otherwise the cluster's allocation policy chooses.  Raises on any
+        precondition violation -- a scheduler asking to start an
+        unstartable job is a policy bug worth crashing on.
+        """
+        if job.job_id not in self._queued:
+            raise SimulationError(f"start_job: job {job.job_id} is not queued")
+        self._account_busy()  # close the interval at the old busy level
+        if job.needs_specific_procs:
+            if procs is not None and frozenset(procs) != job.suspended_procs:
+                raise SimulationError(
+                    f"start_job: job {job.job_id} must resume on its "
+                    "original processors"
+                )
+            procs = self.cluster.allocate_specific(job.suspended_procs, job.job_id)
+        elif procs is not None:
+            if len(procs) != job.procs:
+                raise SimulationError(
+                    f"start_job: job {job.job_id} given {len(procs)} "
+                    f"processors, requests {job.procs}"
+                )
+            procs = self.cluster.allocate_specific(procs, job.job_id)
+        else:
+            procs = self.cluster.allocate(job.procs, job.job_id)
+        job.mark_started(self.now, procs)
+        job.last_dispatch_time = self.now
+        job.expected_end = self.now + job.remaining_estimate()
+        occupancy = max(job.remaining_useful + job.pending_overhead, 0.0)
+        ev = self.loop.at(
+            self.now + occupancy, EventKind.JOB_FINISH, job, epoch=job.epoch
+        )
+        self._finish_events[job.job_id] = ev
+        del self._queued[job.job_id]
+        self._running.add(job)
+        return procs
+
+    def suspend_job(self, job: Job) -> None:
+        """Suspend a running job; it re-enters the queue tail.
+
+        Charges the overhead model's suspend+resume cost as pending
+        overhead (paid at the next dispatch, before useful progress).
+        """
+        if job not in self._running:
+            raise SimulationError(f"suspend_job: job {job.job_id} is not running")
+        ran = self.now - job.last_dispatch_time
+        if ran < -1e-9:
+            raise SimulationError(f"job {job.job_id}: negative run period {ran}")
+        paid = min(max(ran, 0.0), job.pending_overhead)
+        useful = max(ran, 0.0) - paid
+        job.total_overhead += paid
+        job.pending_overhead -= paid
+        job.remaining_useful = max(job.remaining_useful - useful, 0.0)
+        if self.overhead_model is not None:
+            job.pending_overhead += self.overhead_model.suspend_resume_cost(job)
+
+        ev = self._finish_events.pop(job.job_id, None)
+        if ev is not None:
+            self.loop.cancel(ev)
+        self._account_busy()
+        self.cluster.release(job.allocated_procs, job.job_id)
+        job.mark_suspended(self.now)
+        if self.migratable:
+            job.suspended_procs = frozenset()  # may restart anywhere
+        self._running.remove(job)
+        self._queued[job.job_id] = job
+        self.total_suspensions += 1
+
+    def start_speculative(
+        self, job: Job, deadline: float, procs: frozenset[int] | None = None
+    ) -> frozenset[int]:
+        """Start *job* now, to be killed-and-requeued at *deadline*.
+
+        Speculative backfilling (Perkovic & Keleher): the job gets a
+        hole shorter than its estimate; if it completes within the hole
+        (finish fires before the deadline) the speculation won, else
+        the kill event discards its progress and requeues it.  Only
+        fresh (never-suspended) jobs may speculate -- killing a job
+        that holds a checkpoint would silently drop the checkpoint.
+        """
+        if job.needs_specific_procs:
+            raise SimulationError(
+                f"start_speculative: job {job.job_id} holds a suspension "
+                "checkpoint and cannot be run speculatively"
+            )
+        if deadline <= self.now:
+            raise SimulationError("start_speculative: deadline not in the future")
+        got = self.start_job(job, procs=procs)
+        self.loop.at(deadline, EventKind.JOB_KILL, job, epoch=job.epoch)
+        return got
+
+    # ------------------------------------------------------------------
+    # event handlers
+    # ------------------------------------------------------------------
+    def _handle_kill(self, event: Event) -> None:
+        job: Job = event.payload
+        if event.epoch != job.epoch or job.state is not JobState.RUNNING:
+            return  # the speculation won (finished) or was re-dispatched
+        ev = self._finish_events.pop(job.job_id, None)
+        if ev is not None:
+            self.loop.cancel(ev)
+        self._account_busy()
+        self.cluster.release(job.allocated_procs, job.job_id)
+        job.mark_killed(self.now)
+        self._running.remove(job)
+        self._queued[job.job_id] = job
+        self.total_kills += 1
+        self.scheduler.on_kill(job)
+        self._after_event()
+
+    def _handle_arrival(self, event: Event) -> None:
+        job: Job = event.payload
+        self._arrivals_pending -= 1
+        if self._arrivals_pending == 0:
+            # snapshot the busy integral at the end of the arrival
+            # window, before this arrival's scheduling side effects
+            self._account_busy()
+            self._window_busy = self._busy_seconds
+            self._window_end = self.now
+        job.mark_submitted(self.now)
+        self._queued[job.job_id] = job
+        self.scheduler.on_arrival(job)
+        self._after_event()
+
+    def _handle_finish(self, event: Event) -> None:
+        job: Job = event.payload
+        if event.epoch != job.epoch or job.state is not JobState.RUNNING:
+            return  # stale: the job was suspended after this was scheduled
+        self._finish_events.pop(job.job_id, None)
+        job.total_overhead += job.pending_overhead
+        job.pending_overhead = 0.0
+        job.remaining_useful = 0.0
+        self._account_busy()
+        self.cluster.release(job.allocated_procs, job.job_id)
+        job.mark_finished(self.now)
+        self._running.remove(job)
+        self._finished.append(job)
+        self.scheduler.on_finish(job)
+        self._after_event()
+
+    def _handle_timer(self, event: Event) -> None:
+        if self._work_remains():
+            self.scheduler.on_timer()
+            interval = self.scheduler.timer_interval
+            if interval and self._work_remains():
+                self.loop.after(interval, EventKind.TIMER)
+        self._after_event()
+
+    def _work_remains(self) -> bool:
+        return bool(self._queued or self._running or self._arrivals_pending > 0)
+
+    def _account_busy(self) -> None:
+        self._busy_seconds += self.cluster.busy_count * (self.now - self._busy_mark)
+        self._busy_mark = self.now
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def _after_event(self) -> None:
+        if self.probe is not None:
+            self.probe.maybe_sample(self)
+
+    def run(self, jobs: list[Job], require_drain: bool = True) -> SimulationResult:
+        """Simulate *jobs* to completion and return the result record.
+
+        Parameters
+        ----------
+        jobs:
+            Fresh (unsimulated) jobs; scheduled as arrival events.
+        require_drain:
+            If true (default), raise :class:`SimulationError` when any
+            job fails to finish -- starvation or a scheduler deadlock.
+        """
+        if not jobs:
+            raise ValueError("empty workload")
+        for job in jobs:
+            if job.state is not JobState.PENDING:
+                raise ValueError(
+                    f"job {job.job_id} is {job.state.value}, need a fresh copy "
+                    "(use repro.workload.job.fresh_copies)"
+                )
+        self.scheduler.bind(self)
+        self.scheduler.on_begin()
+        self._arrivals_pending = len(jobs)
+        for job in jobs:
+            self.loop.at(job.submit_time, EventKind.JOB_ARRIVAL, job)
+        interval = self.scheduler.timer_interval
+        if interval:
+            self.loop.at(min(j.submit_time for j in jobs) + interval, EventKind.TIMER)
+
+        self.loop.run()
+        self.scheduler.on_end()
+        self._account_busy()
+
+        if require_drain and len(self._finished) != len(jobs):
+            unfinished = sorted(
+                set(j.job_id for j in jobs) - set(j.job_id for j in self._finished)
+            )
+            raise SimulationError(
+                f"{len(unfinished)} job(s) never finished "
+                f"(first few ids: {unfinished[:10]}) -- scheduler "
+                f"{self.scheduler.name!r} starved or deadlocked them"
+            )
+        makespan = max((j.finish_time or 0.0) for j in self._finished) if self._finished else 0.0
+        return SimulationResult(
+            jobs=list(self._finished),
+            n_procs=self.cluster.n_procs,
+            scheduler=self.scheduler.name,
+            busy_proc_seconds=self._busy_seconds,
+            makespan=makespan,
+            total_suspensions=self.total_suspensions,
+            events_dispatched=self.loop.dispatched,
+            total_kills=self.total_kills,
+            last_arrival=self._window_end,
+            busy_in_arrival_window=self._window_busy,
+        )

@@ -1,0 +1,184 @@
+"""Trace presets modelling the paper's workloads.
+
+The paper evaluates on subsets of three Parallel Workloads Archive logs:
+
+* **CTC** -- 430-node IBM SP2, Cornell Theory Center;
+* **SDSC** -- 128-node IBM SP2, San Diego Supercomputer Center;
+* **KTH** -- 100-node IBM SP2, Swedish Royal Institute of Technology.
+
+The logs themselves are not redistributable and this environment has no
+network access, so each preset captures what the paper publishes about
+its trace -- machine size and the per-category job distribution (Tables
+II and III) -- plus calibration targets (offered load, saturation point)
+chosen so the non-preemptive baseline reproduces the paper's overall
+behaviour.  :mod:`repro.workload.synthetic` turns a preset into a
+concrete job list; :func:`repro.workload.swf.read_swf` can replace it
+with the real log where available.
+
+The KTH distribution is **not** published in the paper (its results are
+described as "similar trends" and omitted); the preset here is modelled
+on the published character of the KTH-SP2 log (dominated by short,
+narrow jobs) and is clearly marked synthetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.workload.categories import (
+    SIXTEEN_WAY_CATEGORIES,
+    SixteenWayCategory,
+)
+
+HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class TracePreset:
+    """Everything needed to synthesise a trace shaped like a paper workload.
+
+    Parameters
+    ----------
+    name:
+        Short identifier (``"CTC"``, ``"SDSC"``, ``"KTH"``).
+    n_procs:
+        Machine size in processors.
+    category_shares:
+        Probability of each Table I category (must sum to ~1.0); these are
+        the paper's Tables II/III for CTC/SDSC.
+    target_utilization:
+        Offered load at load factor 1.0, used to calibrate the arrival
+        rate: mean interarrival = E[procs x runtime] / (P x target).
+    saturation_load:
+        Load factor at which the paper reports the system saturates
+        (Figs 35/38: 1.6 for CTC, 1.3 for SDSC); recorded for the
+        load-variation experiments.
+    runtime_bounds:
+        (low, high] run-time bounds in seconds per length class label;
+        run times are drawn log-uniformly inside the class.
+    max_width:
+        Largest processor request the generator will produce (the VW
+        class is log-uniform on [33, max_width]).
+    paper_overall_ns_slowdown:
+        The overall average bounded slowdown the paper reports for the
+        non-preemptive baseline on this trace (3.58 CTC, 14.13 SDSC);
+        recorded for EXPERIMENTS.md comparison, not used by the code.
+    """
+
+    name: str
+    n_procs: int
+    category_shares: dict[SixteenWayCategory, float]
+    target_utilization: float
+    saturation_load: float
+    max_width: int
+    runtime_bounds: dict[str, tuple[float, float]] = field(
+        default_factory=lambda: {
+            "VS": (30.0, 600.0),
+            "S": (600.0, 3600.0),
+            "L": (3600.0, 8 * 3600.0),
+            "VL": (8 * 3600.0, 24 * 3600.0),
+        }
+    )
+    paper_overall_ns_slowdown: float | None = None
+
+    def __post_init__(self) -> None:
+        total = sum(self.category_shares.values())
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(
+                f"preset {self.name}: category shares sum to {total}, expected 1.0"
+            )
+        missing = set(SIXTEEN_WAY_CATEGORIES) - set(self.category_shares)
+        if missing:
+            raise ValueError(f"preset {self.name}: missing categories {missing}")
+        if self.max_width > self.n_procs:
+            raise ValueError(
+                f"preset {self.name}: max_width {self.max_width} exceeds "
+                f"machine size {self.n_procs}"
+            )
+
+
+def _shares(rows: list[list[float]]) -> dict[SixteenWayCategory, float]:
+    """Build a share dict from a 4x4 percentage table (length x width)."""
+    lengths = ("VS", "S", "L", "VL")
+    widths = ("Seq", "N", "W", "VW")
+    out: dict[SixteenWayCategory, float] = {}
+    for i, lc in enumerate(lengths):
+        for j, wc in enumerate(widths):
+            out[(lc, wc)] = rows[i][j] / 100.0
+    return out
+
+
+#: CTC preset -- Table II distribution, 430 processors.
+CTC = TracePreset(
+    name="CTC",
+    n_procs=430,
+    category_shares=_shares(
+        [
+            # Seq   N     W     VW
+            [14.0, 8.0, 13.0, 9.0],  # VS
+            [18.0, 4.0, 6.0, 2.0],  # S
+            [6.0, 3.0, 9.0, 2.0],  # L
+            [2.0, 2.0, 1.0, 1.0],  # VL
+        ]
+    ),
+    # Calibrated so the NS baseline's overall bounded slowdown lands on
+    # the paper's 3.58 (measured 3.9 at 3000 jobs, seed 7); see
+    # EXPERIMENTS.md for the calibration record.
+    target_utilization=0.45,
+    saturation_load=1.6,
+    max_width=336,
+    paper_overall_ns_slowdown=3.58,
+)
+
+#: SDSC preset -- Table III distribution, 128 processors.
+SDSC = TracePreset(
+    name="SDSC",
+    n_procs=128,
+    category_shares=_shares(
+        [
+            # Seq   N     W    VW
+            [8.0, 29.0, 9.0, 4.0],  # VS
+            [2.0, 8.0, 5.0, 3.0],  # S
+            [8.0, 5.0, 6.0, 1.0],  # L
+            [3.0, 5.0, 3.0, 1.0],  # VL
+        ]
+    ),
+    # Calibrated so the NS baseline's overall bounded slowdown lands on
+    # the paper's 14.13 (measured 14.5 at 3000 jobs, seed 7).
+    target_utilization=0.54,
+    saturation_load=1.3,
+    max_width=128,
+    paper_overall_ns_slowdown=14.13,
+)
+
+#: KTH preset -- distribution NOT published in the paper; modelled on the
+#: published character of the KTH-SP2 log (short/narrow heavy).
+KTH = TracePreset(
+    name="KTH",
+    n_procs=100,
+    category_shares=_shares(
+        [
+            # Seq   N     W    VW
+            [12.0, 22.0, 8.0, 2.0],  # VS
+            [8.0, 12.0, 5.0, 2.0],  # S
+            [6.0, 8.0, 5.0, 2.0],  # L
+            [3.0, 3.0, 1.0, 1.0],  # VL
+        ]
+    ),
+    target_utilization=0.50,
+    saturation_load=1.4,
+    max_width=100,
+)
+
+#: Registry of presets by (case-insensitive) name.
+PRESETS: dict[str, TracePreset] = {p.name: p for p in (CTC, SDSC, KTH)}
+
+
+def get_preset(name: str) -> TracePreset:
+    """Look up a preset by name, case-insensitively."""
+    key = name.upper()
+    if key not in PRESETS:
+        raise KeyError(
+            f"unknown trace preset {name!r}; available: {sorted(PRESETS)}"
+        )
+    return PRESETS[key]

@@ -1,0 +1,148 @@
+"""Job categorisation grids from the paper.
+
+Table I (16 categories)
+-----------------------
+
+======================  ==========================
+run time                width (processors)
+======================  ==========================
+VS: (0, 10 min]         Seq: 1
+S:  (10 min, 1 hr]      N (Narrow): 2-8
+L:  (1 hr, 8 hr]        W (Wide): 9-32
+VL: (8 hr, inf)         VW (Very Wide): > 32
+======================  ==========================
+
+Table VI (4 categories, load-variation study)
+---------------------------------------------
+
+======================  ==========================
+run time                width (processors)
+======================  ==========================
+S:  (0, 1 hr]           N: <= 8 processors
+L:  (1 hr, inf)         W: > 8 processors
+======================  ==========================
+
+Categorisation is by **actual** run time.  Section V additionally splits
+jobs into *well estimated* (estimate <= 2x actual) and *badly estimated*
+(estimate > 2x actual) groups; that split lives in
+:func:`estimate_quality` here because it is part of the same
+classification vocabulary.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.workload.job import Job
+
+MINUTE = 60.0
+HOUR = 3600.0
+
+
+class LengthClass(Enum):
+    """Run-time classes of Table I."""
+
+    VERY_SHORT = "VS"
+    SHORT = "S"
+    LONG = "L"
+    VERY_LONG = "VL"
+
+
+class WidthClass(Enum):
+    """Width classes of Table I."""
+
+    SEQUENTIAL = "Seq"
+    NARROW = "N"
+    WIDE = "W"
+    VERY_WIDE = "VW"
+
+
+#: 16-way category label, e.g. ``("VS", "VW")`` -- ordered as the paper's
+#: tables read: length rows, width columns.
+SixteenWayCategory = tuple[str, str]
+
+#: 4-way category label for the load study, e.g. ``("S", "N")``.
+FourWayCategory = tuple[str, str]
+
+#: All 16 categories in table order (length-major).
+SIXTEEN_WAY_CATEGORIES: tuple[SixteenWayCategory, ...] = tuple(
+    (lc.value, wc.value) for lc in LengthClass for wc in WidthClass
+)
+
+#: All 4 load-study categories in table order.
+FOUR_WAY_CATEGORIES: tuple[FourWayCategory, ...] = (
+    ("S", "N"),
+    ("S", "W"),
+    ("L", "N"),
+    ("L", "W"),
+)
+
+#: Run-time boundaries (exclusive lower, inclusive upper) per length class.
+LENGTH_BOUNDS: dict[LengthClass, tuple[float, float]] = {
+    LengthClass.VERY_SHORT: (0.0, 10 * MINUTE),
+    LengthClass.SHORT: (10 * MINUTE, HOUR),
+    LengthClass.LONG: (HOUR, 8 * HOUR),
+    LengthClass.VERY_LONG: (8 * HOUR, float("inf")),
+}
+
+#: Width boundaries (inclusive) per width class.
+WIDTH_BOUNDS: dict[WidthClass, tuple[int, int]] = {
+    WidthClass.SEQUENTIAL: (1, 1),
+    WidthClass.NARROW: (2, 8),
+    WidthClass.WIDE: (9, 32),
+    WidthClass.VERY_WIDE: (33, 10**9),
+}
+
+
+def length_class(run_time: float) -> LengthClass:
+    """Classify a run time (seconds) per Table I."""
+    if run_time <= 0:
+        raise ValueError(f"run time must be positive, got {run_time}")
+    if run_time <= 10 * MINUTE:
+        return LengthClass.VERY_SHORT
+    if run_time <= HOUR:
+        return LengthClass.SHORT
+    if run_time <= 8 * HOUR:
+        return LengthClass.LONG
+    return LengthClass.VERY_LONG
+
+
+def width_class(procs: int) -> WidthClass:
+    """Classify a processor count per Table I."""
+    if procs < 1:
+        raise ValueError(f"processor count must be >= 1, got {procs}")
+    if procs == 1:
+        return WidthClass.SEQUENTIAL
+    if procs <= 8:
+        return WidthClass.NARROW
+    if procs <= 32:
+        return WidthClass.WIDE
+    return WidthClass.VERY_WIDE
+
+
+def classify_sixteen_way(job: "Job") -> SixteenWayCategory:
+    """Table I category of *job* (by actual run time and width)."""
+    return (length_class(job.run_time).value, width_class(job.procs).value)
+
+
+def classify_four_way(job: "Job") -> FourWayCategory:
+    """Table VI category of *job* for the load-variation study."""
+    length = "S" if job.run_time <= HOUR else "L"
+    width = "N" if job.procs <= 8 else "W"
+    return (length, width)
+
+
+def estimate_quality(job: "Job") -> str:
+    """Section V estimation-quality group.
+
+    Returns ``"well"`` when the user estimate is at most twice the actual
+    run time, else ``"badly"``.
+    """
+    return "well" if job.estimate <= 2.0 * job.run_time else "badly"
+
+
+def category_label(category: tuple[str, str]) -> str:
+    """Human-readable label, e.g. ``"VS VW"`` -- matches the paper's axes."""
+    return f"{category[0]} {category[1]}"

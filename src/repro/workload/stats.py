@@ -1,0 +1,141 @@
+"""Workload characterisation statistics.
+
+Summarises a job list the way section III characterises its traces:
+population counts per category, run-time/width distributions, offered
+load, arrival burstiness.  Used by the ``repro-sched inspect`` CLI
+command and by the calibration tests that keep the synthetic generators
+honest against the paper's published distributions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.workload.categories import classify_sixteen_way
+from repro.workload.job import Job
+
+
+@dataclass(frozen=True)
+class Distribution:
+    """Five-number-ish summary of one quantity."""
+
+    count: int
+    mean: float
+    median: float
+    p90: float
+    maximum: float
+    minimum: float
+
+    @staticmethod
+    def of(values: list[float]) -> "Distribution":
+        if not values:
+            return Distribution(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        ordered = sorted(values)
+        n = len(ordered)
+        return Distribution(
+            count=n,
+            mean=sum(ordered) / n,
+            median=ordered[n // 2],
+            p90=ordered[min(int(0.9 * n), n - 1)],
+            maximum=ordered[-1],
+            minimum=ordered[0],
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadStats:
+    """Everything ``inspect`` prints about a trace."""
+
+    n_jobs: int
+    span_seconds: float
+    run_time: Distribution
+    width: Distribution
+    estimate_factor: Distribution
+    interarrival: Distribution
+    #: coefficient of variation of interarrival times; 1.0 for Poisson,
+    #: > 1 for bursty arrivals (real logs typically 2-6)
+    arrival_cv: float
+    #: total work / span -- processors' worth of offered demand
+    offered_processors: float
+    #: fraction of jobs whose estimate exceeds 2x the actual run time
+    badly_estimated_fraction: float
+    category_counts: dict[tuple[str, str], int]
+
+    def offered_load(self, n_procs: int) -> float:
+        """Offered demand as a fraction of an ``n_procs`` machine."""
+        if n_procs <= 0:
+            raise ValueError("n_procs must be positive")
+        return self.offered_processors / n_procs
+
+
+def workload_stats(jobs: Iterable[Job]) -> WorkloadStats:
+    """Characterise *jobs* (static fields only; works on fresh traces)."""
+    jobs = sorted(jobs, key=lambda j: j.submit_time)
+    if not jobs:
+        raise ValueError("empty workload")
+    runs = [j.run_time for j in jobs]
+    widths = [float(j.procs) for j in jobs]
+    factors = [j.estimate / j.run_time for j in jobs]
+    submits = [j.submit_time for j in jobs]
+    gaps = [b - a for a, b in zip(submits, submits[1:])]
+    span = max(submits[-1] - submits[0], 1.0)
+
+    if len(gaps) >= 2:
+        mean_gap = sum(gaps) / len(gaps)
+        var = sum((g - mean_gap) ** 2 for g in gaps) / (len(gaps) - 1)
+        cv = math.sqrt(var) / mean_gap if mean_gap > 0 else 0.0
+    else:
+        cv = 0.0
+
+    counts: dict[tuple[str, str], int] = {}
+    for j in jobs:
+        cat = classify_sixteen_way(j)
+        counts[cat] = counts.get(cat, 0) + 1
+
+    area = sum(j.run_time * j.procs for j in jobs)
+    badly = sum(1 for j in jobs if j.estimate > 2.0 * j.run_time)
+
+    return WorkloadStats(
+        n_jobs=len(jobs),
+        span_seconds=span,
+        run_time=Distribution.of(runs),
+        width=Distribution.of(widths),
+        estimate_factor=Distribution.of(factors),
+        interarrival=Distribution.of(gaps),
+        arrival_cv=cv,
+        offered_processors=area / span,
+        badly_estimated_fraction=badly / len(jobs),
+        category_counts=counts,
+    )
+
+
+def format_stats(stats: WorkloadStats, n_procs: int | None = None) -> str:
+    """Human-readable report of :class:`WorkloadStats`."""
+    from repro.analysis.tables import category_grid_table
+
+    lines = [
+        f"jobs: {stats.n_jobs}   span: {stats.span_seconds / 3600:.1f} h   "
+        f"arrival CV: {stats.arrival_cv:.2f}",
+        f"run time (s): mean {stats.run_time.mean:,.0f}  median "
+        f"{stats.run_time.median:,.0f}  p90 {stats.run_time.p90:,.0f}  "
+        f"max {stats.run_time.maximum:,.0f}",
+        f"width (procs): mean {stats.width.mean:.1f}  median "
+        f"{stats.width.median:.0f}  max {stats.width.maximum:.0f}",
+        f"estimate/actual: mean {stats.estimate_factor.mean:.2f}  "
+        f"badly estimated: {100 * stats.badly_estimated_fraction:.1f}%",
+        f"offered demand: {stats.offered_processors:.1f} processors"
+        + (
+            f" = {100 * stats.offered_load(n_procs):.1f}% of {n_procs}"
+            if n_procs
+            else ""
+        ),
+        "",
+        category_grid_table(
+            {c: 100.0 * n / stats.n_jobs for c, n in stats.category_counts.items()},
+            title="% of jobs per category (Table I grid)",
+            precision=1,
+        ),
+    ]
+    return "\n".join(lines)

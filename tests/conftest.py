@@ -1,0 +1,61 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.machine import Cluster
+from repro.sim.driver import SchedulingSimulation, SimulationResult
+from repro.workload.job import Job
+
+
+def make_job(
+    job_id: int = 0,
+    submit: float = 0.0,
+    run: float = 100.0,
+    procs: int = 1,
+    estimate: float | None = None,
+    memory_mb: float = 0.0,
+) -> Job:
+    """Terse job constructor for tests (estimate defaults to accurate)."""
+    return Job(
+        job_id=job_id,
+        submit_time=submit,
+        run_time=run,
+        estimate=estimate if estimate is not None else run,
+        procs=procs,
+        memory_mb=memory_mb,
+    )
+
+
+def run_sim(
+    jobs: list[Job],
+    scheduler,
+    n_procs: int = 10,
+    overhead_model=None,
+) -> SimulationResult:
+    """Run a scheduler over jobs on a fresh cluster (jobs used in place)."""
+    driver = SchedulingSimulation(
+        cluster=Cluster(n_procs), scheduler=scheduler, overhead_model=overhead_model
+    )
+    return driver.run(jobs)
+
+
+@pytest.fixture
+def small_cluster() -> Cluster:
+    return Cluster(8)
+
+
+@pytest.fixture
+def ctc_trace_small():
+    """A small CTC-shaped trace, cached per test session."""
+    from repro.workload.synthetic import generate_trace
+
+    return generate_trace("CTC", n_jobs=400, seed=11)
+
+
+@pytest.fixture
+def sdsc_trace_small():
+    from repro.workload.synthetic import generate_trace
+
+    return generate_trace("SDSC", n_jobs=400, seed=11)

@@ -1,0 +1,88 @@
+"""ASCII table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import (
+    category_grid_table,
+    comparison_table,
+    render_table,
+    series_table,
+)
+
+
+def test_render_table_basic():
+    out = render_table(["name", "value"], [["a", 1.5], ["b", 2.25]])
+    lines = out.splitlines()
+    assert "name" in lines[0] and "value" in lines[0]
+    assert set(lines[1]) == {"-"}
+    assert "1.50" in out and "2.25" in out
+
+
+def test_render_table_handles_none():
+    out = render_table(["k", "v"], [["x", None]])
+    assert "-" in out.splitlines()[-1]
+
+
+def test_render_table_large_numbers_use_commas():
+    out = render_table(["k", "v"], [["x", 123456.0]])
+    assert "123,456" in out
+
+
+def test_category_grid_full_16():
+    values = {
+        (lc, wc): 1.0
+        for lc in ("VS", "S", "L", "VL")
+        for wc in ("Seq", "N", "W", "VW")
+    }
+    out = category_grid_table(values, title="grid")
+    assert out.startswith("grid")
+    assert out.count("1.00") == 16
+    # rows appear in table order
+    body = out.splitlines()
+    assert body[3].startswith("VS")
+    assert body[-1].startswith("VL")
+
+
+def test_category_grid_missing_cells_render_dash():
+    out = category_grid_table({("VS", "Seq"): 2.0})
+    assert "2.00" in out
+    assert "-" in out
+
+
+def test_category_grid_four_way():
+    values = {c: 25.0 for c in (("S", "N"), ("S", "W"), ("L", "N"), ("L", "W"))}
+    out = category_grid_table(values, four_way=True, precision=0)
+    assert out.count("25") == 4
+    assert "VS" not in out
+
+
+def test_comparison_table_orders_categories():
+    per_scheme = {
+        "A": {("VS", "Seq"): 1.0, ("VL", "VW"): 2.0},
+        "B": {("VS", "Seq"): 3.0},
+    }
+    out = comparison_table(per_scheme)
+    lines = out.splitlines()
+    assert "A" in lines[0] and "B" in lines[0]
+    assert lines[2].startswith("VS Seq")
+    assert lines[3].startswith("VL VW")
+
+
+def test_comparison_table_explicit_categories():
+    per_scheme = {"A": {("S", "N"): 1.0}}
+    out = comparison_table(per_scheme, categories=[("S", "N")])
+    assert "S N" in out
+
+
+def test_series_table():
+    out = series_table("load", [1.0, 1.2], {"NS": [10.0, 20.0], "SS": [5.0, 6.0]})
+    lines = out.splitlines()
+    assert lines[0].split()[0] == "load"
+    assert "10.00" in out and "6.00" in out
+
+
+def test_series_table_length_mismatch():
+    with pytest.raises(ValueError, match="points"):
+        series_table("x", [1.0, 2.0], {"bad": [1.0]})

@@ -1,0 +1,68 @@
+"""Trace preset registry and calibration metadata."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.archive import CTC, KTH, PRESETS, SDSC, get_preset
+from repro.workload.categories import SIXTEEN_WAY_CATEGORIES
+
+
+def test_registry_contents():
+    assert set(PRESETS) == {"CTC", "SDSC", "KTH"}
+    assert PRESETS["CTC"] is CTC
+
+
+def test_machine_sizes_match_paper():
+    assert CTC.n_procs == 430  # Cornell Theory Center SP2
+    assert SDSC.n_procs == 128  # San Diego Supercomputer Center SP2
+    assert KTH.n_procs == 100  # Swedish Royal Institute of Technology SP2
+
+
+def test_every_preset_covers_all_categories():
+    for preset in PRESETS.values():
+        assert set(preset.category_shares) == set(SIXTEEN_WAY_CATEGORIES)
+        assert abs(sum(preset.category_shares.values()) - 1.0) < 1e-9
+
+
+def test_shares_are_probabilities():
+    for preset in PRESETS.values():
+        assert all(0.0 <= v <= 1.0 for v in preset.category_shares.values())
+
+
+def test_runtime_bounds_ordered_and_exhaustive():
+    for preset in PRESETS.values():
+        assert set(preset.runtime_bounds) == {"VS", "S", "L", "VL"}
+        for lo, hi in preset.runtime_bounds.values():
+            assert 0 < lo < hi
+
+
+def test_runtime_bounds_respect_table_1():
+    """Generator bounds must live inside the Table I class intervals."""
+    limits = {
+        "VS": (0.0, 600.0),
+        "S": (600.0, 3600.0),
+        "L": (3600.0, 8 * 3600.0),
+        "VL": (8 * 3600.0, float("inf")),
+    }
+    for preset in PRESETS.values():
+        for cls, (lo, hi) in preset.runtime_bounds.items():
+            class_lo, class_hi = limits[cls]
+            assert lo >= class_lo
+            assert hi <= class_hi or class_hi == float("inf")
+
+
+def test_paper_reference_slowdowns_recorded():
+    assert CTC.paper_overall_ns_slowdown == pytest.approx(3.58)
+    assert SDSC.paper_overall_ns_slowdown == pytest.approx(14.13)
+    assert KTH.paper_overall_ns_slowdown is None  # not published
+
+
+def test_saturation_loads_recorded():
+    assert CTC.saturation_load == pytest.approx(1.6)
+    assert SDSC.saturation_load == pytest.approx(1.3)
+
+
+def test_get_preset_errors():
+    with pytest.raises(KeyError):
+        get_preset("LANL")

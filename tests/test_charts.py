@@ -1,0 +1,81 @@
+"""ASCII chart renderers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.charts import bar_chart, grouped_bar_chart, line_plot
+
+
+def test_bar_chart_basic():
+    out = bar_chart({"NS": 10.0, "SS": 2.0}, title="slowdown")
+    assert out.startswith("slowdown")
+    lines = out.splitlines()
+    assert lines[1].startswith("NS")
+    # NS's bar is longer than SS's
+    assert lines[1].count("#") > lines[2].count("#")
+    assert "10.00" in lines[1]
+
+
+def test_bar_chart_log_scale():
+    out = bar_chart({"a": 1000.0, "b": 10.0}, log=True, width=30)
+    lines = out.splitlines()
+    a_bar = lines[0].count("#")
+    b_bar = lines[1].count("#")
+    # log10: 3 decades vs 1 decade => 3x the bar, not 100x
+    assert a_bar == pytest.approx(3 * b_bar, abs=2)
+    assert "log10" in out
+
+
+def test_bar_chart_zero_and_negative_safe():
+    out = bar_chart({"zero": 0.0, "one": 1.0})
+    assert "zero" in out
+
+
+def test_bar_chart_empty_rejected():
+    with pytest.raises(ValueError):
+        bar_chart({})
+
+
+def test_grouped_bar_chart_structure():
+    out = grouped_bar_chart(
+        {"VS VW": {"NS": 34.0, "SS": 3.0}, "VL VW": {"NS": 1.1, "SS": 1.5}},
+        title="by category",
+    )
+    assert "VS VW:" in out and "VL VW:" in out
+    assert out.count("|") == 4  # one bar per scheme per group
+
+
+def test_grouped_bar_chart_empty_rejected():
+    with pytest.raises(ValueError):
+        grouped_bar_chart({})
+
+
+def test_line_plot_shape():
+    out = line_plot(
+        [1.0, 1.5, 2.0],
+        {"NS": [10.0, 20.0, 40.0], "SS": [5.0, 6.0, 8.0]},
+        title="load curve",
+        height=8,
+        width=30,
+    )
+    lines = out.splitlines()
+    assert lines[0] == "load curve"
+    assert "o=NS" in out and "x=SS" in out
+    # frame: top and bottom rules plus 8 grid rows
+    assert sum(1 for line in lines if "+---" in line or "+--" in line) >= 2
+    assert "o" in out and "x" in out
+
+
+def test_line_plot_validates():
+    with pytest.raises(ValueError):
+        line_plot([1.0, 2.0], {})
+    with pytest.raises(ValueError):
+        line_plot([1.0, 2.0], {"a": [1.0]})
+    with pytest.raises(ValueError):
+        line_plot([1.0], {"a": [1.0]})
+
+
+def test_line_plot_flat_series():
+    out = line_plot([1.0, 2.0], {"flat": [3.0, 3.0]})
+    assert "flat" in out

@@ -1,0 +1,110 @@
+"""CLI entry points (small sizes to keep the suite fast)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+def test_parser_builds():
+    parser = build_parser()
+    args = parser.parse_args(["run", "--trace", "SDSC", "--scheduler", "ss"])
+    assert args.command == "run"
+    assert args.trace == "SDSC"
+
+
+def test_run_command(capsys):
+    rc = main(["run", "--trace", "SDSC", "--jobs", "120", "--scheduler", "easy"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "EASY" in out
+    assert "mean slowdown by category" in out
+
+
+def test_run_with_ss_and_overhead(capsys):
+    rc = main(
+        [
+            "run",
+            "--trace",
+            "SDSC",
+            "--jobs",
+            "100",
+            "--scheduler",
+            "ss",
+            "--sf",
+            "1.5",
+            "--overhead",
+        ]
+    )
+    assert rc == 0
+    assert "SS(SF=1.5)" in capsys.readouterr().out
+
+
+def test_run_with_load_scaling(capsys):
+    rc = main(["run", "--trace", "SDSC", "--jobs", "100", "--load", "1.3"])
+    assert rc == 0
+
+
+def test_run_unknown_scheduler():
+    with pytest.raises(SystemExit):
+        main(["run", "--scheduler", "bogus", "--jobs", "10"])
+
+
+def test_compare_command(capsys):
+    rc = main(["compare", "--trace", "SDSC", "--jobs", "100"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "No Suspension" in out
+    assert "IS" in out
+
+
+def test_experiment_list(capsys):
+    rc = main(["experiment", "--list"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    for key in EXPERIMENTS:
+        assert key in out
+
+
+def test_experiment_unknown_id(capsys):
+    rc = main(["experiment", "nope"])
+    assert rc == 2
+
+
+def test_experiment_no_id_returns_error(capsys):
+    rc = main(["experiment"])
+    assert rc == 2
+
+
+def test_experiment_figs_4_6(capsys):
+    rc = main(["experiment", "figs-4-6"])
+    assert rc == 0
+    assert "SF=2" in capsys.readouterr().out
+
+
+def test_experiment_tables_4_5_small(capsys):
+    rc = main(["experiment", "tables-4-5", "--trace", "SDSC", "--jobs", "150"])
+    assert rc == 0
+    assert "Table V" in capsys.readouterr().out
+
+
+def test_run_from_swf_file(tmp_path, capsys):
+    from repro.workload.swf import jobs_to_swf_records, write_swf
+    from repro.workload.synthetic import generate_trace
+
+    jobs = generate_trace("SDSC", n_jobs=80, seed=3)
+    path = tmp_path / "t.swf"
+    write_swf(path, jobs_to_swf_records(jobs))
+    rc = main(
+        ["run", "--trace", "SDSC", "--swf", str(path), "--scheduler", "easy"]
+    )
+    assert rc == 0
+    assert "EASY" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("name", ["gang", "relaxed", "speculative", "fcfs", "tss"])
+def test_run_all_scheduler_names(name, capsys):
+    rc = main(["run", "--trace", "SDSC", "--jobs", "80", "--scheduler", name])
+    assert rc == 0
+    assert "mean slowdown by category" in capsys.readouterr().out

@@ -1,0 +1,202 @@
+"""Cluster machine model: allocation, release, ownership invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.allocation import ContiguousBestFit, LowestIdFirst, RandomAllocation
+from repro.cluster.machine import AllocationError, Cluster
+
+
+def test_initial_state_all_free():
+    c = Cluster(16)
+    assert c.free_count == 16
+    assert c.busy_count == 0
+    assert c.free_set() == frozenset(range(16))
+
+
+def test_invalid_size_rejected():
+    with pytest.raises(ValueError):
+        Cluster(0)
+    with pytest.raises(ValueError):
+        Cluster(-3)
+
+
+def test_allocate_lowest_ids_by_default():
+    c = Cluster(8)
+    procs = c.allocate(3, owner=1)
+    assert procs == frozenset({0, 1, 2})
+    assert c.free_count == 5
+
+
+def test_allocate_tracks_ownership():
+    c = Cluster(8)
+    procs = c.allocate(2, owner=42)
+    for p in procs:
+        assert c.owner_of(p) == 42
+        assert not c.is_free(p)
+
+
+def test_allocate_more_than_free_raises():
+    c = Cluster(4)
+    c.allocate(3, owner=1)
+    with pytest.raises(AllocationError):
+        c.allocate(2, owner=2)
+
+
+def test_allocate_more_than_machine_raises():
+    c = Cluster(4)
+    with pytest.raises(AllocationError, match="machine size"):
+        c.allocate(5, owner=1)
+
+
+def test_allocate_nonpositive_raises():
+    c = Cluster(4)
+    with pytest.raises(AllocationError):
+        c.allocate(0, owner=1)
+
+
+def test_release_returns_processors():
+    c = Cluster(8)
+    procs = c.allocate(4, owner=1)
+    c.release(procs, owner=1)
+    assert c.free_count == 8
+    assert all(c.owner_of(p) is None for p in procs)
+
+
+def test_release_wrong_owner_raises():
+    c = Cluster(8)
+    procs = c.allocate(2, owner=1)
+    with pytest.raises(AllocationError, match="owned by"):
+        c.release(procs, owner=2)
+
+
+def test_double_release_raises():
+    c = Cluster(8)
+    procs = c.allocate(2, owner=1)
+    c.release(procs, owner=1)
+    with pytest.raises(AllocationError):
+        c.release(procs, owner=1)
+
+
+def test_release_free_processor_raises():
+    c = Cluster(8)
+    with pytest.raises(AllocationError):
+        c.release({0}, owner=1)
+
+
+def test_allocate_specific_exact_set():
+    c = Cluster(8)
+    procs = c.allocate_specific({2, 5, 7}, owner=9)
+    assert procs == frozenset({2, 5, 7})
+    assert c.owner_of(5) == 9
+
+
+def test_allocate_specific_busy_raises():
+    c = Cluster(8)
+    c.allocate_specific({2}, owner=1)
+    with pytest.raises(AllocationError, match="not free"):
+        c.allocate_specific({2, 3}, owner=2)
+
+
+def test_allocate_specific_empty_raises():
+    c = Cluster(8)
+    with pytest.raises(AllocationError):
+        c.allocate_specific(set(), owner=1)
+
+
+def test_can_allocate_counts():
+    c = Cluster(4)
+    assert c.can_allocate(4)
+    c.allocate(3, owner=1)
+    assert c.can_allocate(1)
+    assert not c.can_allocate(2)
+
+
+def test_can_allocate_specific():
+    c = Cluster(4)
+    c.allocate_specific({0}, owner=1)
+    assert c.can_allocate_specific({1, 2})
+    assert not c.can_allocate_specific({0, 1})
+
+
+def test_owners_overlapping():
+    c = Cluster(8)
+    c.allocate_specific({0, 1}, owner=10)
+    c.allocate_specific({2, 3}, owner=20)
+    assert c.owners_overlapping({1, 2}) == {10, 20}
+    assert c.owners_overlapping({4, 5}) == set()
+    assert c.owners_overlapping({0}) == {10}
+
+
+def test_interleaved_allocate_release_consistency():
+    c = Cluster(10)
+    a = c.allocate(4, owner=1)
+    b = c.allocate(3, owner=2)
+    c.release(a, owner=1)
+    d = c.allocate(5, owner=3)
+    assert c.free_count == 10 - 3 - 5
+    assert not (b & d)
+    c.check_invariants()
+
+
+def test_check_invariants_clean():
+    c = Cluster(8)
+    c.allocate(3, owner=1)
+    c.check_invariants()
+
+
+def test_allocation_fills_released_holes():
+    c = Cluster(6)
+    a = c.allocate(2, owner=1)  # {0,1}
+    c.allocate(2, owner=2)  # {2,3}
+    c.release(a, owner=1)
+    new = c.allocate(3, owner=3)
+    assert new == frozenset({0, 1, 4})
+
+
+# ----------------------------------------------------------------------
+# allocation policies
+# ----------------------------------------------------------------------
+def test_lowest_id_policy_deterministic():
+    p = LowestIdFirst()
+    assert p.select({5, 1, 3, 2}, 2) == frozenset({1, 2})
+
+
+def test_random_policy_seeded_reproducible():
+    sel1 = RandomAllocation(seed=3).select(set(range(100)), 10)
+    sel2 = RandomAllocation(seed=3).select(set(range(100)), 10)
+    assert sel1 == sel2
+    assert len(sel1) == 10
+
+
+def test_random_policy_different_seeds_differ():
+    sel1 = RandomAllocation(seed=1).select(set(range(100)), 10)
+    sel2 = RandomAllocation(seed=2).select(set(range(100)), 10)
+    assert sel1 != sel2  # overwhelmingly likely
+
+
+def test_contiguous_best_fit_prefers_smallest_fitting_run():
+    # free runs: [0..1] (len 2), [5..9] (len 5); request 2 -> [0,1]
+    free = {0, 1, 5, 6, 7, 8, 9}
+    sel = ContiguousBestFit().select(free, 2)
+    assert sel == frozenset({0, 1})
+
+
+def test_contiguous_best_fit_skips_too_small_runs():
+    free = {0, 1, 5, 6, 7}
+    sel = ContiguousBestFit().select(free, 3)
+    assert sel == frozenset({5, 6, 7})
+
+
+def test_contiguous_best_fit_falls_back_when_fragmented():
+    free = {0, 2, 4, 6}
+    sel = ContiguousBestFit().select(free, 3)
+    assert sel == frozenset({0, 2, 4})
+
+
+def test_cluster_with_custom_policy():
+    c = Cluster(10, policy=ContiguousBestFit())
+    c.allocate_specific({0, 1, 2}, owner=1)
+    got = c.allocate(2, owner=2)
+    assert got == frozenset({3, 4})

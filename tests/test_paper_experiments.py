@@ -1,0 +1,96 @@
+"""The per-figure experiment functions (small sizes for speed)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import paper
+
+N = 220
+SEED = 3
+
+
+def test_job_distribution_outputs():
+    out = paper.job_distribution("CTC", n_jobs=N, seed=SEED)
+    assert out.exp_id == "tables-2-3-7-8"
+    assert abs(sum(out.data["shares16"].values()) - 1.0) < 1e-9
+    assert abs(sum(out.data["shares4"].values()) - 1.0) < 1e-9
+    assert "Tables II/III" in out.report
+
+
+def test_ns_baseline_slowdowns_outputs():
+    out = paper.ns_baseline_slowdowns("SDSC", n_jobs=N, seed=SEED)
+    assert out.data["overall"] >= 1.0
+    assert all(v >= 1.0 for v in out.data["grid"].values())
+    assert "Table V" in out.report
+    assert "No Suspension" in out.results
+
+
+def test_two_task_figures_outputs():
+    out = paper.two_task_figures((1.5, 2.0))
+    assert out.data["SF=2"]["frozen"].suspensions == 0
+    assert out.data["SF=1.5"]["frozen"].suspensions == 1
+    assert "SF=1.5" in out.report
+
+
+def test_ss_average_metrics_outputs():
+    out = paper.ss_average_metrics("SDSC", n_jobs=N, seed=SEED)
+    for metric in ("slowdown", "turnaround"):
+        grids = out.data[metric]
+        assert set(grids) == {"SF = 1.5", "SF = 2", "SF = 5", "No Suspension", "IS"}
+        for grid in grids.values():
+            assert grid  # nonempty
+    assert "Fig 9" in out.report and "Fig 10" in out.report
+
+
+def test_ss_worst_case_outputs():
+    out = paper.ss_worst_case("SDSC", n_jobs=N, seed=SEED)
+    assert set(out.data["slowdown"]) == {"SF = 2", "No Suspension", "IS"}
+    # worst >= mean structurally; just check worst >= 1
+    for grid in out.data["slowdown"].values():
+        assert all(v >= 1.0 for v in grid.values())
+
+
+def test_tss_worst_case_outputs():
+    out = paper.tss_worst_case("SDSC", n_jobs=N, seed=SEED)
+    assert "SF = 2 Tuned" in out.data["slowdown"]
+    assert "SF = 2" in out.data["slowdown"]
+
+
+def test_estimate_impact_outputs():
+    out = paper.estimate_impact("SDSC", n_jobs=N, seed=SEED)
+    assert set(out.data) == {"all", "well", "badly"}
+    all_counts = out.data["all"]["slowdown"]["No Suspension"]
+    assert all_counts
+    # every job is either well or badly estimated: the union of group
+    # categories covers the all-jobs categories
+    union = set(out.data["well"]["slowdown"]["No Suspension"]) | set(
+        out.data["badly"]["slowdown"]["No Suspension"]
+    )
+    assert set(all_counts) <= union
+
+
+def test_overhead_impact_outputs():
+    out = paper.overhead_impact("SDSC", n_jobs=N, seed=SEED)
+    assert set(out.data["slowdown"]) == {"SF = 2", "SF = 2 OH", "No Suspension", "IS"}
+    # the overhead run must actually charge overhead to suspended jobs
+    oh_run = out.results["SF = 2 OH"]
+    if oh_run.total_suspensions:
+        assert any(j.total_overhead > 0 for j in oh_run.jobs)
+    free_run = out.results["SF = 2"]
+    assert all(j.total_overhead == 0 for j in free_run.jobs)
+
+
+def test_load_variation_outputs():
+    out = paper.load_variation("SDSC", loads=(1.0, 1.2), n_jobs=N, seed=SEED)
+    assert out.data["loads"] == [1.0, 1.2]
+    for label in ("SF = 2 Tuned", "No Suspension", "IS"):
+        assert len(out.data["utilization"][label]) == 2
+        for series in out.data["slowdown"][label].values():
+            assert len(series) == 2
+    assert "utilisation" in out.report
+
+
+def test_unknown_trace_raises():
+    with pytest.raises(KeyError):
+        paper.ns_baseline_slowdowns("NOPE", n_jobs=N, seed=SEED)

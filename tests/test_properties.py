@@ -1,0 +1,255 @@
+"""Property-based tests (hypothesis) on core structures and invariants."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.machine import Cluster
+from repro.metrics.slowdown import bounded_slowdown, turnaround_time, wait_time
+from repro.metrics.utilization import busy_area_from_jobs
+from repro.schedulers.easy import EasyBackfillScheduler
+from repro.schedulers.fcfs import FCFSScheduler
+from repro.schedulers.profiles import AvailabilityProfile
+from repro.sim.events import EventKind, EventQueue
+from repro.workload.job import Job, JobState
+from tests.conftest import run_sim
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+N_PROCS = 16
+
+job_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=5000.0),  # submit
+        st.floats(min_value=1.0, max_value=5000.0),  # run
+        st.integers(min_value=1, max_value=N_PROCS),  # procs
+        st.floats(min_value=1.0, max_value=4.0),  # estimate factor
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def build_jobs(raw) -> list[Job]:
+    return [
+        Job(
+            job_id=i,
+            submit_time=submit,
+            run_time=run,
+            estimate=run * est_factor,
+            procs=procs,
+        )
+        for i, (submit, run, procs, est_factor) in enumerate(raw)
+    ]
+
+
+# ----------------------------------------------------------------------
+# event queue ordering
+# ----------------------------------------------------------------------
+@given(st.lists(st.floats(min_value=0, max_value=1e9), min_size=1, max_size=200))
+def test_event_queue_pops_sorted(times):
+    q = EventQueue()
+    for t in times:
+        q.schedule(t, EventKind.GENERIC, t)
+    popped = [q.pop().time for _ in range(len(times))]
+    assert popped == sorted(times)
+
+
+@given(
+    st.lists(st.floats(min_value=0, max_value=1e6), min_size=2, max_size=100),
+    st.data(),
+)
+def test_event_queue_cancellation_preserves_rest(times, data):
+    q = EventQueue()
+    events = [q.schedule(t, EventKind.GENERIC, i) for i, t in enumerate(times)]
+    kill = data.draw(
+        st.sets(st.integers(min_value=0, max_value=len(times) - 1), max_size=len(times) - 1)
+    )
+    for i in kill:
+        q.cancel(events[i])
+    expected = sorted(
+        (t, i) for i, t in enumerate(times) if i not in kill
+    )
+    popped = [(e.time, e.payload) for e in q.drain()]
+    assert [p[1] for p in popped] == [e[1] for e in expected] or [
+        p[0] for p in popped
+    ] == [e[0] for e in expected]
+
+
+# ----------------------------------------------------------------------
+# availability profile
+# ----------------------------------------------------------------------
+claims = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1000.0),  # start
+        st.floats(min_value=0.1, max_value=1000.0),  # duration
+        st.integers(min_value=1, max_value=4),  # count
+    ),
+    max_size=30,
+)
+
+
+@given(claims)
+def test_profile_free_never_negative_or_above_capacity(claim_list):
+    p = AvailabilityProfile(32, origin=0.0)
+    for start, duration, count in claim_list:
+        if p.min_free(start, start + duration) >= count:
+            p.claim(start, duration, count)
+    for t, free in p.breakpoints():
+        assert 0 <= free <= 32
+
+
+@given(claims, st.floats(min_value=0.1, max_value=500.0), st.integers(1, 32))
+def test_profile_anchor_window_actually_fits(claim_list, duration, count):
+    p = AvailabilityProfile(32, origin=0.0)
+    for start, dur, cnt in claim_list:
+        if p.min_free(start, start + dur) >= cnt:
+            p.claim(start, dur, cnt)
+    anchor = p.find_anchor(duration, count)
+    assert p.fits(anchor, duration, count)
+    # and no earlier breakpoint admits the same window
+    for t, _ in p.breakpoints():
+        if t < anchor:
+            assert not p.fits(t, duration, count)
+
+
+# ----------------------------------------------------------------------
+# whole-simulation invariants
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(job_lists)
+def test_fcfs_schedule_invariants(raw):
+    jobs = build_jobs(raw)
+    result = run_sim(jobs, FCFSScheduler(), n_procs=N_PROCS)
+    _assert_schedule_sane(jobs, result)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(job_lists)
+def test_easy_schedule_invariants(raw):
+    jobs = build_jobs(raw)
+    result = run_sim(jobs, EasyBackfillScheduler(), n_procs=N_PROCS)
+    _assert_schedule_sane(jobs, result)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(job_lists)
+def test_ss_schedule_invariants(raw):
+    from repro.core.selective_suspension import SelectiveSuspensionScheduler
+
+    jobs = build_jobs(raw)
+    result = run_sim(
+        jobs,
+        SelectiveSuspensionScheduler(suspension_factor=2.0, preemption_interval=60.0),
+        n_procs=N_PROCS,
+    )
+    _assert_schedule_sane(jobs, result)
+
+
+def _assert_schedule_sane(jobs: list[Job], result) -> None:
+    """Invariants every valid schedule satisfies (DESIGN.md section 5)."""
+    assert len(result.jobs) == len(jobs)
+    for j in result.jobs:
+        assert j.state is JobState.FINISHED
+        assert j.first_start_time is not None and j.finish_time is not None
+        # causality and duration
+        assert j.first_start_time >= j.submit_time
+        assert turnaround_time(j) >= j.run_time - 1e-6
+        assert wait_time(j) >= -1e-6
+        assert bounded_slowdown(j) >= 1.0
+        # occupancy bookkeeping closed out
+        assert j.pending_overhead == 0.0
+        assert j.remaining_useful == 0.0
+    # conservation: busy integral equals job areas
+    assert abs(result.busy_proc_seconds - busy_area_from_jobs(result.jobs)) < 1e-6
+    # utilisation in range
+    assert 0.0 <= result.utilization <= 1.0 + 1e-9
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(job_lists)
+def test_determinism_across_runs(raw):
+    """Two identical simulations produce identical schedules."""
+    a = run_sim(build_jobs(raw), EasyBackfillScheduler(), n_procs=N_PROCS)
+    b = run_sim(build_jobs(raw), EasyBackfillScheduler(), n_procs=N_PROCS)
+    assert [(j.job_id, j.first_start_time, j.finish_time) for j in a.jobs] == [
+        (j.job_id, j.first_start_time, j.finish_time) for j in b.jobs
+    ]
+
+
+# ----------------------------------------------------------------------
+# cluster random-walk
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=1, max_value=8)),
+        max_size=60,
+    )
+)
+def test_cluster_random_walk_keeps_invariants(ops):
+    c = Cluster(16)
+    held: dict[int, frozenset[int]] = {}
+    next_owner = 0
+    for is_alloc, count in ops:
+        if is_alloc and c.can_allocate(count):
+            held[next_owner] = c.allocate(count, owner=next_owner)
+            next_owner += 1
+        elif not is_alloc and held:
+            owner, procs = next(iter(held.items()))
+            c.release(procs, owner)
+            del held[owner]
+        c.check_invariants()
+        assert c.free_count + sum(len(p) for p in held.values()) == 16
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(job_lists)
+def test_is_schedule_invariants(raw):
+    from repro.core.immediate_service import ImmediateServiceScheduler
+
+    jobs = build_jobs(raw)
+    result = run_sim(jobs, ImmediateServiceScheduler(), n_procs=N_PROCS)
+    _assert_schedule_sane(jobs, result)
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(job_lists)
+def test_gang_schedule_invariants(raw):
+    from repro.schedulers.gang import GangScheduler
+
+    jobs = build_jobs(raw)
+    result = run_sim(jobs, GangScheduler(quantum=300.0), n_procs=N_PROCS)
+    _assert_schedule_sane(jobs, result)
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(job_lists)
+def test_speculative_schedule_invariants(raw):
+    """Kills discard progress but every invariant the auditor knows
+    about must still hold (conservation includes wasted time)."""
+    from repro.schedulers.speculative import SpeculativeBackfillScheduler
+    from repro.sim.audit import audit_result
+
+    jobs = build_jobs(raw)
+    result = run_sim(
+        jobs, SpeculativeBackfillScheduler(speculation_window=300.0), n_procs=N_PROCS
+    )
+    assert len(result.jobs) == len(jobs)
+    audit_result(result)
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(job_lists)
+def test_audit_accepts_every_generated_schedule(raw):
+    """The auditor must never flag a schedule the driver produced."""
+    from repro.core.tss import TunableSelectiveSuspensionScheduler
+    from repro.sim.audit import audit_result
+
+    jobs = build_jobs(raw)
+    result = run_sim(
+        jobs, TunableSelectiveSuspensionScheduler(suspension_factor=2.0), n_procs=N_PROCS
+    )
+    audit_result(result)

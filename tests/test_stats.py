@@ -1,0 +1,89 @@
+"""Workload characterisation statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.stats import Distribution, format_stats, workload_stats
+from repro.workload.synthetic import generate_trace
+from tests.conftest import make_job
+
+
+def test_distribution_of_values():
+    d = Distribution.of([1.0, 2.0, 3.0, 4.0, 100.0])
+    assert d.count == 5
+    assert d.mean == pytest.approx(22.0)
+    assert d.median == 3.0
+    assert d.maximum == 100.0
+    assert d.minimum == 1.0
+
+
+def test_distribution_empty():
+    d = Distribution.of([])
+    assert d.count == 0 and d.mean == 0.0
+
+
+def test_stats_on_synthetic_trace():
+    jobs = generate_trace("SDSC", n_jobs=500, seed=3)
+    stats = workload_stats(jobs)
+    assert stats.n_jobs == 500
+    assert stats.run_time.minimum >= 30.0
+    assert 1 <= stats.width.minimum <= stats.width.maximum <= 128
+    assert stats.badly_estimated_fraction == 0.0  # accurate estimates
+    assert sum(stats.category_counts.values()) == 500
+
+
+def test_offered_load_matches_preset_target():
+    from repro.workload.archive import SDSC
+
+    jobs = generate_trace("SDSC", n_jobs=3000, seed=3)
+    stats = workload_stats(jobs)
+    assert stats.offered_load(SDSC.n_procs) == pytest.approx(
+        SDSC.target_utilization, rel=0.12
+    )
+
+
+def test_poisson_arrival_cv_near_one():
+    jobs = generate_trace("CTC", n_jobs=3000, seed=3)
+    stats = workload_stats(jobs)
+    assert 0.8 < stats.arrival_cv < 1.2
+
+
+def test_badly_estimated_fraction_counts():
+    jobs = [
+        make_job(job_id=0, run=100.0, estimate=150.0),
+        make_job(job_id=1, submit=10.0, run=100.0, estimate=500.0),
+        make_job(job_id=2, submit=20.0, run=100.0, estimate=100.0),
+        make_job(job_id=3, submit=30.0, run=100.0, estimate=300.0),
+    ]
+    stats = workload_stats(jobs)
+    assert stats.badly_estimated_fraction == pytest.approx(0.5)
+
+
+def test_offered_load_validates():
+    jobs = [make_job()]
+    with pytest.raises(ValueError):
+        workload_stats(jobs).offered_load(0)
+
+
+def test_empty_workload_rejected():
+    with pytest.raises(ValueError):
+        workload_stats([])
+
+
+def test_format_stats_report():
+    jobs = generate_trace("SDSC", n_jobs=200, seed=3)
+    out = format_stats(workload_stats(jobs), n_procs=128)
+    assert "jobs: 200" in out
+    assert "% of 128" in out
+    assert "Table I grid" in out
+
+
+def test_cli_inspect(capsys):
+    from repro.cli import main
+
+    rc = main(["inspect", "--trace", "SDSC", "--jobs", "150"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "jobs: 150" in out
+    assert "offered demand" in out

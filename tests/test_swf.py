@@ -1,0 +1,168 @@
+"""SWF parsing, writing and job conversion."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.workload.swf import (
+    SWFRecord,
+    iter_swf,
+    jobs_from_swf_records,
+    jobs_to_swf_records,
+    read_swf,
+    read_swf_header,
+    write_swf,
+)
+
+GOOD_LINE = "1 0 10 3600 16 -1 -1 16 7200 -1 1 5 2 -1 1 -1 -1 -1"
+
+
+def test_parse_good_line():
+    rec = SWFRecord.from_line(GOOD_LINE)
+    assert rec.job_number == 1
+    assert rec.submit_time == 0.0
+    assert rec.run_time == 3600.0
+    assert rec.requested_procs == 16
+    assert rec.requested_time == 7200.0
+    assert rec.user_id == 5
+
+
+def test_parse_rejects_wrong_field_count():
+    with pytest.raises(ValueError, match="fields"):
+        SWFRecord.from_line("1 2 3")
+
+
+def test_parse_rejects_nonnumeric():
+    bad = GOOD_LINE.replace("3600", "xyz")
+    with pytest.raises(ValueError):
+        SWFRecord.from_line(bad)
+
+
+def test_iter_swf_skips_comments_and_blanks():
+    stream = io.StringIO(f"; UnixStartTime: 0\n\n{GOOD_LINE}\n;\n{GOOD_LINE}\n")
+    records = list(iter_swf(stream))
+    assert len(records) == 2
+
+
+def test_iter_swf_reports_line_numbers():
+    stream = io.StringIO(f"{GOOD_LINE}\nbroken line here\n")
+    with pytest.raises(ValueError, match="line 2"):
+        list(iter_swf(stream))
+
+
+def test_round_trip_through_file(tmp_path):
+    rec = SWFRecord.from_line(GOOD_LINE)
+    path = tmp_path / "trace.swf"
+    n = write_swf(path, [rec, rec], header={"MaxNodes": "128"})
+    assert n == 2
+    back = read_swf(path)
+    assert len(back) == 2
+    assert back[0] == rec
+    assert read_swf_header(path) == {"MaxNodes": "128"}
+
+
+def test_to_line_is_parseable():
+    rec = SWFRecord.from_line(GOOD_LINE)
+    assert SWFRecord.from_line(rec.to_line()) == rec
+
+
+# ----------------------------------------------------------------------
+# conversion to Jobs
+# ----------------------------------------------------------------------
+def _rec(
+    job=1, submit=0.0, run=100.0, req_procs=4, req_time=200.0, alloc=4, mem_kb=-1.0
+) -> SWFRecord:
+    return SWFRecord(
+        job_number=job,
+        submit_time=submit,
+        wait_time=-1.0,
+        run_time=run,
+        allocated_procs=alloc,
+        avg_cpu_time=-1.0,
+        used_memory_kb=-1.0,
+        requested_procs=req_procs,
+        requested_time=req_time,
+        requested_memory_kb=mem_kb,
+        status=1,
+        user_id=3,
+        group_id=-1,
+        executable=-1,
+        queue=-1,
+        partition=-1,
+        preceding_job=-1,
+        think_time=-1.0,
+    )
+
+
+def test_jobs_basic_conversion():
+    jobs = jobs_from_swf_records([_rec()])
+    assert len(jobs) == 1
+    j = jobs[0]
+    assert j.run_time == 100.0
+    assert j.estimate == 200.0
+    assert j.procs == 4
+    assert j.user == 3
+
+
+def test_jobs_drop_nonpositive_runtime():
+    jobs = jobs_from_swf_records([_rec(run=-1.0), _rec(job=2, run=0.0), _rec(job=3)])
+    assert [j.job_id for j in jobs] == [3]
+
+
+def test_jobs_drop_too_wide():
+    jobs = jobs_from_swf_records([_rec(req_procs=64), _rec(job=2)], max_procs=32)
+    assert [j.job_id for j in jobs] == [2]
+
+
+def test_jobs_fall_back_to_allocated_procs():
+    jobs = jobs_from_swf_records([_rec(req_procs=-1, alloc=8)])
+    assert jobs[0].procs == 8
+
+
+def test_jobs_missing_estimate_falls_back_to_runtime():
+    jobs = jobs_from_swf_records([_rec(req_time=-1.0)])
+    assert jobs[0].estimate == 100.0
+
+
+def test_jobs_clamp_tiny_runtime():
+    jobs = jobs_from_swf_records([_rec(run=0.4)], min_run_time=1.0)
+    assert jobs[0].run_time == 1.0
+
+
+def test_jobs_preserve_underestimates():
+    """Real logs contain estimate < run time; the loader must not hide it."""
+    jobs = jobs_from_swf_records([_rec(run=500.0, req_time=100.0)])
+    assert jobs[0].estimate == 100.0
+    assert jobs[0].run_time == 500.0
+
+
+def test_jobs_rebase_to_zero():
+    jobs = jobs_from_swf_records([_rec(submit=1000.0), _rec(job=2, submit=1500.0)])
+    assert jobs[0].submit_time == 0.0
+    assert jobs[1].submit_time == 500.0
+
+
+def test_jobs_rebase_optional():
+    jobs = jobs_from_swf_records([_rec(submit=1000.0)], rebase_time=False)
+    assert jobs[0].submit_time == 1000.0
+
+
+def test_jobs_sorted_by_submit():
+    jobs = jobs_from_swf_records([_rec(job=1, submit=500.0), _rec(job=2, submit=100.0)])
+    assert [j.job_id for j in jobs] == [2, 1]
+
+
+def test_memory_kb_to_mb_conversion():
+    jobs = jobs_from_swf_records([_rec(mem_kb=512000.0)])
+    assert jobs[0].memory_mb == pytest.approx(500.0)
+
+
+def test_jobs_to_swf_round_trip():
+    jobs = jobs_from_swf_records([_rec()])
+    recs = jobs_to_swf_records(jobs)
+    back = jobs_from_swf_records(recs)
+    assert back[0].run_time == jobs[0].run_time
+    assert back[0].procs == jobs[0].procs
+    assert back[0].estimate == jobs[0].estimate

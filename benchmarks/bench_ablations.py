@@ -8,17 +8,24 @@ unstated) to show which ones the results actually depend on:
 * the preemption-sweep interval (60 s in the paper);
 * victim placement: preemptor on victims' processors vs policy default;
 * overhead severity: paper's 2 MB/s vs a 2x-slower disk.
+
+Every ablation is expressed as a :class:`~repro.experiments.parallel.GridCell`
+grid and executed through :func:`~repro.experiments.parallel.run_grid`, so
+``REPRO_BENCH_WORKERS`` fans the variants of each ablation out over a
+process pool and ``REPRO_BENCH_CACHE`` lets interrupted sessions resume
+where they stopped.  Results are identical to the old serial
+``simulate`` calls -- the grid merge is deterministic.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import SEED, run_once
+from benchmarks.conftest import CACHE, SEED, WORKERS, run_once
 from repro.core.overhead import DiskSwapOverheadModel
 from repro.core.selective_suspension import SelectiveSuspensionScheduler
 from repro.core.tss import TunableSelectiveSuspensionScheduler, limits_from_result
-from repro.experiments.runner import simulate
+from repro.experiments.parallel import GridCell, run_grid
 from repro.metrics.aggregate import overall_stats, per_category_stats
 from repro.schedulers.easy import EasyBackfillScheduler
 from repro.workload.archive import get_preset
@@ -33,6 +40,28 @@ def _mean_sd(result, cat):
     return stats[cat].slowdown.mean if cat in stats else None
 
 
+def _grid(jobs, n_procs, variants, **cell_kwargs):
+    """Run one ablation: {key: scheduler_config} -> {key: result}.
+
+    *variants* may also map to a ``(config, extra_cell_kwargs)`` pair for
+    per-variant overhead models / migratable flags.
+    """
+    cells = []
+    for key, spec in variants.items():
+        extra = dict(cell_kwargs)
+        if isinstance(spec, tuple):
+            config, per_cell = spec
+            extra.update(per_cell)
+        else:
+            config = spec
+        cells.append(
+            GridCell(
+                key=key, jobs=jobs, n_procs=n_procs, scheduler_config=config, **extra
+            )
+        )
+    return run_grid(cells, workers=WORKERS, cache=CACHE).results
+
+
 @pytest.fixture(scope="module")
 def workload():
     preset = get_preset(TRACE)
@@ -44,13 +73,15 @@ def test_ablation_width_rule(benchmark, workload):
     jobs, n_procs = workload
 
     def run():
-        with_rule = simulate(
-            jobs, SelectiveSuspensionScheduler(2.0, width_rule=True), n_procs
+        res = _grid(
+            jobs,
+            n_procs,
+            {
+                "on": SelectiveSuspensionScheduler(2.0, width_rule=True).config(),
+                "off": SelectiveSuspensionScheduler(2.0, width_rule=False).config(),
+            },
         )
-        without = simulate(
-            jobs, SelectiveSuspensionScheduler(2.0, width_rule=False), n_procs
-        )
-        return with_rule, without
+        return res["on"], res["off"]
 
     with_rule, without = run_once(benchmark, run)
     print()
@@ -75,14 +106,31 @@ def test_ablation_tss_limit_source(benchmark, workload):
     jobs, n_procs = workload
 
     def run():
-        ns = simulate(jobs, EasyBackfillScheduler(), n_procs)
-        calibrated = simulate(
+        # the calibrated variant's limits come from the NS run, so the
+        # baseline is its own (cacheable) one-cell grid phase
+        ns = run_grid(
+            [
+                GridCell(
+                    key="ns",
+                    jobs=jobs,
+                    n_procs=n_procs,
+                    scheduler_config=EasyBackfillScheduler().config(),
+                )
+            ],
+            workers=WORKERS,
+            cache=CACHE,
+        ).results["ns"]
+        res = _grid(
             jobs,
-            TunableSelectiveSuspensionScheduler(2.0, limits=limits_from_result(ns)),
             n_procs,
+            {
+                "calibrated": TunableSelectiveSuspensionScheduler(
+                    2.0, limits=limits_from_result(ns)
+                ).config(),
+                "online": TunableSelectiveSuspensionScheduler(2.0).config(),
+            },
         )
-        online = simulate(jobs, TunableSelectiveSuspensionScheduler(2.0), n_procs)
-        return ns, calibrated, online
+        return ns, res["calibrated"], res["online"]
 
     ns, calibrated, online = run_once(benchmark, run)
     sd_cal = overall_stats(calibrated.jobs).slowdown.mean
@@ -98,16 +146,20 @@ def test_ablation_tss_limit_source(benchmark, workload):
 def test_ablation_preemption_interval(benchmark, workload):
     """The 60 s sweep: coarser sweeps slow the short jobs' rescue."""
     jobs, n_procs = workload
+    intervals = (60.0, 600.0, 3600.0)
 
     def run():
-        return {
-            interval: simulate(
-                jobs,
-                SelectiveSuspensionScheduler(2.0, preemption_interval=interval),
-                n_procs,
-            )
-            for interval in (60.0, 600.0, 3600.0)
-        }
+        res = _grid(
+            jobs,
+            n_procs,
+            {
+                f"{interval:g}": SelectiveSuspensionScheduler(
+                    2.0, preemption_interval=interval
+                ).config()
+                for interval in intervals
+            },
+        )
+        return {interval: res[f"{interval:g}"] for interval in intervals}
 
     results = run_once(benchmark, run)
     print()
@@ -128,20 +180,23 @@ def test_ablation_overhead_severity(benchmark, workload):
     jobs, n_procs = workload
 
     def run():
-        ns = simulate(jobs, EasyBackfillScheduler(), n_procs)
-        paper_disk = simulate(
+        ss = SelectiveSuspensionScheduler(2.0).config()
+        res = _grid(
             jobs,
-            SelectiveSuspensionScheduler(2.0),
             n_procs,
-            overhead_model=DiskSwapOverheadModel(mb_per_sec_per_proc=2.0),
+            {
+                "ns": EasyBackfillScheduler().config(),
+                "paper_disk": (
+                    ss,
+                    {"overhead_model": DiskSwapOverheadModel(mb_per_sec_per_proc=2.0)},
+                ),
+                "slow_disk": (
+                    ss,
+                    {"overhead_model": DiskSwapOverheadModel(mb_per_sec_per_proc=1.0)},
+                ),
+            },
         )
-        slow_disk = simulate(
-            jobs,
-            SelectiveSuspensionScheduler(2.0),
-            n_procs,
-            overhead_model=DiskSwapOverheadModel(mb_per_sec_per_proc=1.0),
-        )
-        return ns, paper_disk, slow_disk
+        return res["ns"], res["paper_disk"], res["slow_disk"]
 
     ns, paper_disk, slow_disk = run_once(benchmark, run)
     sd_ns = overall_stats(ns.jobs).slowdown.mean
@@ -163,11 +218,16 @@ def test_ablation_migration(benchmark, workload):
     jobs, n_procs = workload
 
     def run():
-        local = simulate(jobs, SelectiveSuspensionScheduler(2.0), n_procs)
-        migratable = simulate(
-            jobs, SelectiveSuspensionScheduler(2.0), n_procs, migratable=True
+        ss = SelectiveSuspensionScheduler(2.0).config()
+        res = _grid(
+            jobs,
+            n_procs,
+            {
+                "local": ss,
+                "migratable": (ss, {"migratable": True}),
+            },
         )
-        return local, migratable
+        return res["local"], res["migratable"]
 
     local, migratable = run_once(benchmark, run)
     sd_local = overall_stats(local.jobs).slowdown.mean
@@ -195,9 +255,15 @@ def test_ablation_gang_vs_selective(benchmark, workload):
     jobs, n_procs = workload
 
     def run():
-        ss = simulate(jobs, SelectiveSuspensionScheduler(2.0), n_procs)
-        gang = simulate(jobs, GangScheduler(quantum=600.0), n_procs)
-        return ss, gang
+        res = _grid(
+            jobs,
+            n_procs,
+            {
+                "ss": SelectiveSuspensionScheduler(2.0).config(),
+                "gang": GangScheduler(quantum=600.0).config(),
+            },
+        )
+        return res["ss"], res["gang"]
 
     ss, gang = run_once(benchmark, run)
     print()
@@ -221,9 +287,15 @@ def test_ablation_conservative_substrate(benchmark, workload):
     jobs, n_procs = workload
 
     def run():
-        easy = simulate(jobs, EasyBackfillScheduler(), n_procs)
-        cons = simulate(jobs, ConservativeBackfillScheduler(), n_procs)
-        return easy, cons
+        res = _grid(
+            jobs,
+            n_procs,
+            {
+                "easy": EasyBackfillScheduler().config(),
+                "cons": ConservativeBackfillScheduler().config(),
+            },
+        )
+        return res["easy"], res["cons"]
 
     easy, cons = run_once(benchmark, run)
     print()

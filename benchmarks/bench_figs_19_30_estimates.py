@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import N_JOBS, SEED, run_once
+from benchmarks.conftest import CACHE, N_JOBS, SEED, WORKERS, run_once
 from repro.experiments import paper
 
 #: this bench simulates 6 schemes per trace under heavy over-estimation
@@ -27,7 +27,13 @@ N_JOBS = min(N_JOBS, 1200)
 @pytest.mark.parametrize("trace", ["CTC", "SDSC"])
 def test_figs_19_30_estimate_impact(benchmark, trace):
     out = run_once(
-        benchmark, paper.estimate_impact, trace=trace, n_jobs=N_JOBS, seed=SEED
+        benchmark,
+        paper.estimate_impact,
+        trace=trace,
+        n_jobs=N_JOBS,
+        seed=SEED,
+        workers=WORKERS,
+        cache=CACHE,
     )
     print()
     print(out.report)

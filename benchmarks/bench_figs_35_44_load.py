@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import SEED, run_once
+from benchmarks.conftest import CACHE, SEED, WORKERS, run_once
 from repro.analysis.tables import series_table
 from repro.experiments import paper
 
@@ -40,6 +40,8 @@ def test_figs_35_44_load_variation(benchmark, trace):
         loads=LOADS[trace],
         n_jobs=LOAD_N_JOBS,
         seed=SEED,
+        workers=WORKERS,
+        cache=CACHE,
     )
     print()
     print(out.report)

@@ -10,6 +10,7 @@ tracked separately.
 from __future__ import annotations
 
 from repro.cluster.machine import Cluster
+from repro.core.priorities import suspension_priority
 from repro.core.selective_suspension import SelectiveSuspensionScheduler
 from repro.schedulers.easy import EasyBackfillScheduler
 from repro.schedulers.profiles import AvailabilityProfile
@@ -19,6 +20,68 @@ from repro.workload.synthetic import generate_trace
 from tests.conftest import run_sim
 
 JOBS_SDSC = generate_trace("SDSC", n_jobs=400, seed=3)
+
+
+class _RecomputingPriorities(dict):
+    """job_id -> xfactor mapping that recomputes on *every* access.
+
+    Stores the Job objects and calls :func:`suspension_priority` in
+    ``__getitem__``, reproducing the pre-optimisation sweep's cost
+    profile (priority evaluated inside sort keys and per-victim
+    filters, O(queue x running) calls per sweep) while flowing through
+    the same code paths as the snapshot dict.
+    """
+
+    def __init__(self, jobs, now: float) -> None:
+        super().__init__((j.job_id, j) for j in jobs)
+        self._now = now
+
+    def __getitem__(self, job_id):  # type: ignore[override]
+        return suspension_priority(super().__getitem__(job_id), self._now)
+
+
+class LegacySweepScheduler(SelectiveSuspensionScheduler):
+    """Reference SS with the naive per-access priority recomputation.
+
+    Benchmark-only: pins down what the once-per-sweep priority snapshot
+    in :meth:`SelectiveSuspensionScheduler.sweep` buys, and that it buys
+    it without changing a single scheduling decision (the xfactor at a
+    fixed ``now`` is transition-invariant, so snapshot and recompute
+    agree exactly -- ``test_sweep_priority_snapshot_identical`` asserts
+    the schedules match event for event).
+    """
+
+    def sweep(self, allow_suspension: bool) -> None:
+        driver = self.driver
+        assert driver is not None
+        now = driver.now
+        queued = driver.queued_jobs()
+        pool = list(queued)
+        if allow_suspension:
+            pool.extend(driver.running_jobs())
+        priorities = _RecomputingPriorities(pool, now)
+        idle = sorted(
+            queued,
+            key=lambda j: (-priorities[j.job_id], j.submit_time, j.job_id),
+        )
+        for job in idle:
+            if job.needs_specific_procs:
+                self._try_resume(job, allow_suspension, priorities)
+            else:
+                self._try_start(job, allow_suspension, priorities)
+
+
+def _schedule_signature(result):
+    """Every externally observable per-job outcome, for exact equality."""
+    return [
+        (
+            j.job_id,
+            j.first_start_time,
+            j.finish_time,
+            j.suspension_count,
+        )
+        for j in result.jobs
+    ]
 
 
 def test_event_queue_push_pop(benchmark):
@@ -84,3 +147,45 @@ def test_simulation_rate_ss(benchmark):
 
     result = benchmark(run)
     assert len(result.jobs) == len(JOBS_SDSC)
+
+
+def test_simulation_rate_ss_legacy_sweep(benchmark):
+    """The pre-optimisation sweep, for comparison with the case above.
+
+    Compare this bench's time against ``test_simulation_rate_ss`` in
+    the same run: the gap is exactly what the once-per-sweep priority
+    snapshot saves (it widens with congestion -- rerun with a larger
+    trace to see the quadratic term take over).
+    """
+
+    def run():
+        return run_sim(
+            fresh_copies(JOBS_SDSC),
+            LegacySweepScheduler(suspension_factor=2.0),
+            n_procs=128,
+        )
+
+    result = benchmark(run)
+    assert len(result.jobs) == len(JOBS_SDSC)
+
+
+def test_sweep_priority_snapshot_identical():
+    """The snapshot optimisation changes cost, not decisions.
+
+    Runs the optimised and legacy sweeps over the same congested trace
+    and asserts per-job start/finish/suspension equality, plus the
+    aggregate event and suspension counters.
+    """
+    fast = run_sim(
+        fresh_copies(JOBS_SDSC),
+        SelectiveSuspensionScheduler(suspension_factor=2.0),
+        n_procs=128,
+    )
+    slow = run_sim(
+        fresh_copies(JOBS_SDSC),
+        LegacySweepScheduler(suspension_factor=2.0),
+        n_procs=128,
+    )
+    assert _schedule_signature(fast) == _schedule_signature(slow)
+    assert fast.total_suspensions == slow.total_suspensions
+    assert fast.makespan == slow.makespan

@@ -8,6 +8,14 @@ pytest-benchmark conventionally.
 
 Scale knobs: REPRO_BENCH_JOBS (default 2000) and REPRO_BENCH_SEED
 (default 7) environment variables resize every figure bench.
+
+Execution knobs: REPRO_BENCH_WORKERS fans the grid-shaped benches
+(load variation, estimate impact, ablations) over a process pool
+(0 = one worker per CPU; unset/1 = serial, the timing-honest default),
+and REPRO_BENCH_CACHE points them at an on-disk result cache so a
+re-run after an interrupted session skips finished cells.  Both knobs
+change wall-clock only -- the simulator is deterministic and the merge
+order fixed, so reports and assertions are identical either way.
 """
 
 from __future__ import annotations
@@ -16,10 +24,24 @@ import os
 
 import pytest
 
+from repro.experiments.cache import ResultCache
+
 #: workload size for figure regeneration benches
 N_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "2000"))
 #: workload seed
 SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
+#: process-pool width for grid benches (None = serial)
+WORKERS: int | None = (
+    int(os.environ["REPRO_BENCH_WORKERS"])
+    if os.environ.get("REPRO_BENCH_WORKERS")
+    else None
+)
+#: shared on-disk result cache for grid benches (None = off)
+CACHE: ResultCache | None = (
+    ResultCache(os.environ["REPRO_BENCH_CACHE"])
+    if os.environ.get("REPRO_BENCH_CACHE")
+    else None
+)
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -26,6 +26,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import Callable
 
@@ -35,7 +36,9 @@ from repro.core.overhead import DiskSwapOverheadModel
 from repro.core.selective_suspension import SelectiveSuspensionScheduler
 from repro.core.tss import TunableSelectiveSuspensionScheduler
 from repro.experiments import paper
-from repro.experiments.runner import compare_schemes, simulate, standard_schemes
+from repro.experiments.cache import ResultCache
+from repro.experiments.parallel import compare_schemes_parallel
+from repro.experiments.runner import simulate, standard_schemes
 from repro.schedulers.base import Scheduler
 from repro.schedulers.conservative import ConservativeBackfillScheduler
 from repro.schedulers.easy import EasyBackfillScheduler
@@ -130,6 +133,28 @@ def _add_trace_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_parallel_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan independent simulations over N processes "
+        "(0 = one per CPU; default: serial)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed result cache directory; repeated runs "
+        "with identical (trace, scheduler, overhead) cells skip simulation",
+    )
+
+
+def _cache_from_args(args: argparse.Namespace) -> ResultCache | None:
+    return ResultCache(args.cache_dir) if getattr(args, "cache_dir", None) else None
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-sched",
@@ -158,6 +183,7 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_.add_argument(
         "--statistic", choices=("mean", "worst"), default="mean"
     )
+    _add_parallel_args(cmp_)
 
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure group")
     exp.add_argument("exp_id", nargs="?", help="experiment id (see --list)")
@@ -165,6 +191,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--trace", default="CTC")
     exp.add_argument("--jobs", type=int, default=paper.DEFAULT_N_JOBS)
     exp.add_argument("--seed", type=int, default=paper.DEFAULT_SEED)
+    _add_parallel_args(exp)
 
     ins = sub.add_parser("inspect", help="characterise a workload (section III style)")
     _add_trace_args(ins)
@@ -200,7 +227,14 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "compare":
         jobs, n_procs = _load_jobs(args)
         overhead = DiskSwapOverheadModel() if args.overhead else None
-        results = compare_schemes(jobs, n_procs, standard_schemes(), overhead)
+        results = compare_schemes_parallel(
+            jobs,
+            n_procs,
+            standard_schemes(),
+            overhead,
+            workers=args.workers,
+            cache=_cache_from_args(args),
+        )
         print(
             scheme_comparison_report(
                 f"{args.trace}: scheme comparison",
@@ -229,7 +263,19 @@ def _dispatch(args: argparse.Namespace) -> int:
             return 2
         fn, needs_trace = EXPERIMENTS[args.exp_id]
         if needs_trace:
-            out = fn(trace=args.trace, n_jobs=args.jobs, seed=args.seed)
+            kwargs: dict[str, object] = {
+                "trace": args.trace,
+                "n_jobs": args.jobs,
+                "seed": args.seed,
+            }
+            # grid-shaped experiments accept workers/cache; table-only
+            # ones (single simulation) do not -- pass only what fits
+            params = inspect.signature(fn).parameters
+            if "workers" in params:
+                kwargs["workers"] = args.workers
+            if "cache" in params:
+                kwargs["cache"] = _cache_from_args(args)
+            out = fn(**kwargs)
         else:
             out = fn()
         print(out.report)

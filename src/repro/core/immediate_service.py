@@ -45,6 +45,14 @@ class ImmediateServiceScheduler(Scheduler):
     """IS: immediate 10-minute timeslices, lowest-instantaneous-xfactor victims."""
 
     name = "IS"
+    scheme_id = "is"
+
+    def config(self) -> dict[str, object]:
+        return {
+            "scheme": self.scheme_id,
+            "timeslice": self.timeslice,
+            "sweep_interval": self.timer_interval,
+        }
 
     def __init__(
         self,

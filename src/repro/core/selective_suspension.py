@@ -51,6 +51,8 @@ class SelectiveSuspensionScheduler(Scheduler):
         exposed for the ablation bench).
     """
 
+    scheme_id = "ss"
+
     def __init__(
         self,
         suspension_factor: float = 2.0,
@@ -87,19 +89,37 @@ class SelectiveSuspensionScheduler(Scheduler):
         With ``allow_suspension=False`` this is plain greedy backfilling
         onto free processors (what arrivals and completions trigger);
         with ``True`` it is the full periodic preemption routine.
+
+        Priorities are computed **once per sweep** into ``priorities``
+        (job_id -> xfactor at *now*) and threaded through
+        :meth:`_try_start` / :meth:`_try_resume`.  This is safe because
+        the xfactor is an exact integral over past state intervals: a
+        job suspended or started *at* ``now`` has the same xfactor
+        before and after the transition, so mid-sweep state changes
+        cannot invalidate the snapshot.  The naive form recomputed
+        ``suspension_priority`` O(queue x running) times per sweep
+        inside sort keys and per-victim filters -- the dominant cost of
+        congested simulations (see ``benchmarks/bench_micro.py``).
         """
         driver = self.driver
         assert driver is not None
         now = driver.now
+        queued = driver.queued_jobs()
+        priorities = {j.job_id: suspension_priority(j, now) for j in queued}
+        if allow_suspension:
+            # victims come from the running set; a job started earlier in
+            # this sweep was queued at sweep start and is already present
+            for r in driver.running_jobs():
+                priorities[r.job_id] = suspension_priority(r, now)
         idle = sorted(
-            driver.queued_jobs(),
-            key=lambda j: (-suspension_priority(j, now), j.submit_time, j.job_id),
+            queued,
+            key=lambda j: (-priorities[j.job_id], j.submit_time, j.job_id),
         )
         for job in idle:
             if job.needs_specific_procs:
-                self._try_resume(job, allow_suspension)
+                self._try_resume(job, allow_suspension, priorities)
             else:
-                self._try_start(job, allow_suspension)
+                self._try_start(job, allow_suspension, priorities)
 
     # ------------------------------------------------------------------
     # fresh starts (pseudocode path suspend_jobs_1)
@@ -140,7 +160,9 @@ class SelectiveSuspensionScheduler(Scheduler):
             chosen.extend(rest[: job.procs - len(chosen)])
         return frozenset(chosen)
 
-    def _try_start(self, job: Job, allow_suspension: bool) -> bool:
+    def _try_start(
+        self, job: Job, allow_suspension: bool, priorities: dict[int, float]
+    ) -> bool:
         driver = self.driver
         assert driver is not None
         if driver.cluster.can_allocate(job.procs):
@@ -150,20 +172,20 @@ class SelectiveSuspensionScheduler(Scheduler):
             return False
 
         now = driver.now
-        idle_priority = suspension_priority(job, now)
+        idle_priority = priorities[job.job_id]
         candidates: list[Job] = []
-        available = driver.cluster.free_count
+        covered = driver.cluster.free_count  # free + candidate processors
         # Victims in ascending priority: cheapest (least entitled) first.
         for victim in sorted(
             driver.running_jobs(),
-            key=lambda r: (suspension_priority(r, now), r.job_id),
+            key=lambda r: (priorities[r.job_id], r.job_id),
         ):
-            if available + sum(len(c.allocated_procs) for c in candidates) >= job.procs:
+            if covered >= job.procs:
                 break
-            if not self.victim_preemptable(victim, now):
+            if not self.victim_preemptable(victim, now, priorities[victim.job_id]):
                 continue
             if not self.criteria.priority_allows(
-                idle_priority, suspension_priority(victim, now)
+                idle_priority, priorities[victim.job_id]
             ):
                 continue
             if not self.criteria.width_allows(
@@ -171,8 +193,9 @@ class SelectiveSuspensionScheduler(Scheduler):
             ):
                 continue
             candidates.append(victim)
+            covered += len(victim.allocated_procs)
 
-        if available + sum(len(c.allocated_procs) for c in candidates) < job.procs:
+        if covered < job.procs:
             return False
 
         # Suspend the widest candidates first, stopping once the request
@@ -197,7 +220,9 @@ class SelectiveSuspensionScheduler(Scheduler):
     # ------------------------------------------------------------------
     # re-entry of suspended jobs (pseudocode path suspend_jobs_2)
     # ------------------------------------------------------------------
-    def _try_resume(self, job: Job, allow_suspension: bool) -> bool:
+    def _try_resume(
+        self, job: Job, allow_suspension: bool, priorities: dict[int, float]
+    ) -> bool:
         driver = self.driver
         assert driver is not None
         needed = job.suspended_procs
@@ -208,7 +233,7 @@ class SelectiveSuspensionScheduler(Scheduler):
             return False
 
         now = driver.now
-        idle_priority = suspension_priority(job, now)
+        idle_priority = priorities[job.job_id]
         owner_ids = driver.cluster.owners_overlapping(needed)
         owners = [r for r in driver.running_jobs() if r.job_id in owner_ids]
         if len(owners) != len(owner_ids):  # pragma: no cover - defensive
@@ -216,10 +241,10 @@ class SelectiveSuspensionScheduler(Scheduler):
         # Every squatter must clear the SF threshold (no width rule on
         # re-entry); one protected occupant blocks the whole resume.
         for victim in owners:
-            if not self.victim_preemptable(victim, now):
+            if not self.victim_preemptable(victim, now, priorities[victim.job_id]):
                 return False
             if not self.criteria.priority_allows(
-                idle_priority, suspension_priority(victim, now)
+                idle_priority, priorities[victim.job_id]
             ):
                 return False
         for victim in sorted(owners, key=lambda o: o.job_id):
@@ -232,11 +257,14 @@ class SelectiveSuspensionScheduler(Scheduler):
     # ------------------------------------------------------------------
     # TSS extension point
     # ------------------------------------------------------------------
-    def victim_preemptable(self, victim: Job, now: float) -> bool:
+    def victim_preemptable(
+        self, victim: Job, now: float, priority: float | None = None
+    ) -> bool:
         """Whether policy allows suspending *victim* at all.
 
         Plain SS never protects a running job; TSS overrides this with
-        the per-category limit test.
+        the per-category limit test.  *priority* carries the victim's
+        sweep-precomputed xfactor so overrides need not recompute it.
         """
         return True
 
@@ -245,3 +273,11 @@ class SelectiveSuspensionScheduler(Scheduler):
             f"{self.name}, sweep every {self.timer_interval:g}s, "
             f"width rule {'on' if self.criteria.width_rule else 'off'}"
         )
+
+    def config(self) -> dict[str, object]:
+        return {
+            "scheme": self.scheme_id,
+            "suspension_factor": self.criteria.suspension_factor,
+            "preemption_interval": self.timer_interval,
+            "width_rule": self.criteria.width_rule,
+        }

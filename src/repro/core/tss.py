@@ -70,6 +70,40 @@ class CategoryLimits:
             return self.margin * (self._overall_sum / self._overall_count)
         return float("inf")  # no information: never protected
 
+    def to_config(self) -> dict[str, object]:
+        """JSON-stable description (see :meth:`Scheduler.config`).
+
+        Online limits serialise *without* their accumulated table: the
+        table is run state, rebuilt from scratch every simulation, so
+        two online-mode schedulers with equal margins behave
+        identically on any workload.
+        """
+        if self.online:
+            return {"mode": "online", "margin": self.margin}
+        return {
+            "mode": "calibrated",
+            "margin": self.margin,
+            "table": {
+                f"{run}|{width}": limit
+                for (run, width), limit in sorted(self.table.items())
+            },
+        }
+
+    @classmethod
+    def from_config(cls, config: dict[str, object]) -> "CategoryLimits":
+        """Rebuild limits from :meth:`to_config` output."""
+        mode = config.get("mode", "calibrated")
+        margin = float(config.get("margin", 1.5))  # type: ignore[arg-type]
+        if mode == "online":
+            return cls(online=True, margin=margin)
+        raw = config.get("table", {})
+        assert isinstance(raw, dict)
+        table: dict[SixteenWayCategory, float] = {}
+        for key, limit in raw.items():
+            run, _, width = key.partition("|")
+            table[(run, width)] = float(limit)
+        return cls(table=table, margin=margin)
+
     def observe(self, job: Job) -> None:
         """Fold a finished job into the online averages (no-op otherwise)."""
         if not self.online:
@@ -104,6 +138,8 @@ def limits_from_result(
 class TunableSelectiveSuspensionScheduler(SelectiveSuspensionScheduler):
     """TSS: SS plus per-category preemption limits (section IV-E)."""
 
+    scheme_id = "tss"
+
     def __init__(
         self,
         suspension_factor: float = 2.0,
@@ -120,9 +156,23 @@ class TunableSelectiveSuspensionScheduler(SelectiveSuspensionScheduler):
         mode = "online" if self.limits.online else "calibrated"
         self.name = f"TSS(SF={suspension_factor:g},{mode})"
 
-    def victim_preemptable(self, victim: Job, now: float) -> bool:
-        """Protect victims whose xfactor exceeds their category limit."""
-        return victim.xfactor(now) <= self.limits.limit_for(victim)
+    def config(self) -> dict[str, object]:
+        cfg = super().config()
+        cfg["limits"] = self.limits.to_config()
+        return cfg
+
+    def victim_preemptable(
+        self, victim: Job, now: float, priority: float | None = None
+    ) -> bool:
+        """Protect victims whose xfactor exceeds their category limit.
+
+        *priority* lets the sweep pass the victim's already-computed
+        xfactor (it is constant at a fixed *now*), avoiding a recompute
+        per (idle, victim) pair.
+        """
+        if priority is None:
+            priority = victim.xfactor(now)
+        return priority <= self.limits.limit_for(victim)
 
     def on_finish(self, job: Job) -> None:
         self.limits.observe(job)

@@ -2,16 +2,49 @@
 
 * :mod:`repro.experiments.runner` -- :func:`simulate` (one policy, one
   trace) and :func:`compare_schemes` (the paper's standard scheme set
-  over one trace).
+  over one trace), both serial.
+* :mod:`repro.experiments.parallel` -- :func:`run_grid` and
+  :func:`compare_schemes_parallel`: the same cells fanned out over a
+  process pool with deterministic merging.
+* :mod:`repro.experiments.cache` -- :class:`ResultCache`, the
+  content-addressed on-disk result store keyed by (workload, machine,
+  scheduler config, overhead model, migratable flag) fingerprints.
 * :mod:`repro.experiments.paper` -- one entry per paper table/figure;
   each returns the rows/series the paper plots, as plain data.
 """
 
+from repro.experiments.cache import (
+    ResultCache,
+    cell_fingerprint,
+    fingerprint_jobs,
+)
+from repro.experiments.parallel import (
+    GridCell,
+    GridOutcome,
+    compare_schemes_parallel,
+    run_grid,
+)
 from repro.experiments.runner import (
     SchemeSpec,
+    SuspensionOverheadModel,
     compare_schemes,
     simulate,
     standard_schemes,
+    tuned_schemes,
 )
 
-__all__ = ["SchemeSpec", "compare_schemes", "simulate", "standard_schemes"]
+__all__ = [
+    "GridCell",
+    "GridOutcome",
+    "ResultCache",
+    "SchemeSpec",
+    "SuspensionOverheadModel",
+    "cell_fingerprint",
+    "compare_schemes",
+    "compare_schemes_parallel",
+    "fingerprint_jobs",
+    "run_grid",
+    "simulate",
+    "standard_schemes",
+    "tuned_schemes",
+]

@@ -23,8 +23,9 @@ from repro.analysis.report import scheme_comparison_report
 from repro.analysis.tables import category_grid_table, series_table
 from repro.core.overhead import DiskSwapOverheadModel
 from repro.core.theory import two_task_timeline
+from repro.experiments.cache import ResultCache
+from repro.experiments.parallel import GridCell, compare_schemes_parallel, run_grid
 from repro.experiments.runner import (
-    compare_schemes,
     simulate,
     standard_schemes,
     tuned_schemes,
@@ -204,15 +205,23 @@ def two_task_figures(
 # Figs 7-10 -- SS average slowdown / turnaround
 # ----------------------------------------------------------------------
 def ss_average_metrics(
-    trace: str = "CTC", n_jobs: int = DEFAULT_N_JOBS, seed: int = DEFAULT_SEED
+    trace: str = "CTC",
+    n_jobs: int = DEFAULT_N_JOBS,
+    seed: int = DEFAULT_SEED,
+    workers: int | None = None,
+    cache: ResultCache | None = None,
 ) -> ExperimentOutput:
     """Figs 7-10: mean slowdown & turnaround per category, SS vs NS vs IS.
 
     ``data``: ``"slowdown"``/``"turnaround"`` -> scheme -> category -> mean.
+    ``workers``/``cache`` fan the scheme cells out over a process pool
+    and/or an on-disk result cache (see :mod:`repro.experiments.parallel`).
     """
     preset = get_preset(trace)
     jobs = _trace(trace, n_jobs, seed)
-    results = compare_schemes(jobs, preset.n_procs, standard_schemes())
+    results = compare_schemes_parallel(
+        jobs, preset.n_procs, standard_schemes(), workers=workers, cache=cache
+    )
     data = {
         "slowdown": _mean_grids(results, "slowdown"),
         "turnaround": _mean_grids(results, "turnaround"),
@@ -248,7 +257,11 @@ def ss_average_metrics(
 # Figs 11/12/15/16 -- worst case under SS
 # ----------------------------------------------------------------------
 def ss_worst_case(
-    trace: str = "CTC", n_jobs: int = DEFAULT_N_JOBS, seed: int = DEFAULT_SEED
+    trace: str = "CTC",
+    n_jobs: int = DEFAULT_N_JOBS,
+    seed: int = DEFAULT_SEED,
+    workers: int | None = None,
+    cache: ResultCache | None = None,
 ) -> ExperimentOutput:
     """Figs 11-12 (CTC) / 15-16 (SDSC): worst-case slowdown & turnaround.
 
@@ -256,8 +269,12 @@ def ss_worst_case(
     """
     preset = get_preset(trace)
     jobs = _trace(trace, n_jobs, seed)
-    results = compare_schemes(
-        jobs, preset.n_procs, standard_schemes(suspension_factors=(2.0,))
+    results = compare_schemes_parallel(
+        jobs,
+        preset.n_procs,
+        standard_schemes(suspension_factors=(2.0,)),
+        workers=workers,
+        cache=cache,
     )
     data = {
         "slowdown": _mean_grids(results, "slowdown", statistic="worst"),
@@ -294,7 +311,11 @@ def ss_worst_case(
 # Figs 13/14/17/18 -- TSS worst case
 # ----------------------------------------------------------------------
 def tss_worst_case(
-    trace: str = "CTC", n_jobs: int = DEFAULT_N_JOBS, seed: int = DEFAULT_SEED
+    trace: str = "CTC",
+    n_jobs: int = DEFAULT_N_JOBS,
+    seed: int = DEFAULT_SEED,
+    workers: int | None = None,
+    cache: ResultCache | None = None,
 ) -> ExperimentOutput:
     """Figs 13-14 (CTC) / 17-18 (SDSC): TSS vs SS vs NS vs IS worst cases."""
     preset = get_preset(trace)
@@ -303,7 +324,9 @@ def tss_worst_case(
     specs[1:1] = [
         s for s in tuned_schemes(suspension_factors=(2.0,)) if "Tuned" in s.label
     ]
-    results = compare_schemes(jobs, preset.n_procs, specs)
+    results = compare_schemes_parallel(
+        jobs, preset.n_procs, specs, workers=workers, cache=cache
+    )
     data = {
         "slowdown": _mean_grids(results, "slowdown", statistic="worst"),
         "turnaround": _mean_grids(results, "turnaround", statistic="worst"),
@@ -343,6 +366,8 @@ def estimate_impact(
     n_jobs: int = DEFAULT_N_JOBS,
     seed: int = DEFAULT_SEED,
     badly_fraction: float = 0.4,
+    workers: int | None = None,
+    cache: ResultCache | None = None,
 ) -> ExperimentOutput:
     """Figs 19-24 (CTC) / 25-30 (SDSC): inaccurate user estimates.
 
@@ -356,7 +381,9 @@ def estimate_impact(
     jobs = _trace(
         trace, n_jobs, seed, estimates=InaccurateEstimates(badly_fraction=badly_fraction)
     )
-    results = compare_schemes(jobs, preset.n_procs, tuned_schemes())
+    results = compare_schemes_parallel(
+        jobs, preset.n_procs, tuned_schemes(), workers=workers, cache=cache
+    )
     data: dict[str, Any] = {}
     blocks: list[str] = []
     for quality in (None, "well", "badly"):
@@ -389,7 +416,11 @@ def estimate_impact(
 # Figs 31-34 -- suspension overhead
 # ----------------------------------------------------------------------
 def overhead_impact(
-    trace: str = "CTC", n_jobs: int = DEFAULT_N_JOBS, seed: int = DEFAULT_SEED
+    trace: str = "CTC",
+    n_jobs: int = DEFAULT_N_JOBS,
+    seed: int = DEFAULT_SEED,
+    workers: int | None = None,
+    cache: ResultCache | None = None,
 ) -> ExperimentOutput:
     """Figs 31-34: SS with modelled suspend/restart overhead.
 
@@ -401,12 +432,16 @@ def overhead_impact(
     jobs = _trace(trace, n_jobs, seed, estimates=InaccurateEstimates())
     overhead = DiskSwapOverheadModel()
     tuned = [s for s in tuned_schemes(suspension_factors=(2.0,)) if "Tuned" in s.label]
-    free = compare_schemes(jobs, preset.n_procs, tuned)
-    loaded = compare_schemes(
+    free = compare_schemes_parallel(
+        jobs, preset.n_procs, tuned, workers=workers, cache=cache
+    )
+    loaded = compare_schemes_parallel(
         jobs,
         preset.n_procs,
         tuned + [s for s in standard_schemes(()) if s.label in ("No Suspension", "IS")],
         overhead_model=overhead,
+        workers=workers,
+        cache=cache,
     )
     results = {
         "SF = 2": free["SF = 2 Tuned"],
@@ -451,6 +486,8 @@ def load_variation(
     loads: tuple[float, ...] = (1.0, 1.2, 1.4, 1.6, 1.8, 2.0),
     n_jobs: int = DEFAULT_N_JOBS,
     seed: int = DEFAULT_SEED,
+    workers: int | None = None,
+    cache: ResultCache | None = None,
 ) -> ExperimentOutput:
     """Figs 35-44: behaviour under scaled load.
 
@@ -464,28 +501,59 @@ def load_variation(
     * the utilisation-vs-metric pairing (Figs 41-44) falls out of the
       same data (each load point contributes one (util, metric) pair).
 
+    This is the widest grid in the module -- ``len(loads) x 3`` cells
+    plus one NS calibration run per load -- so it fans the whole thing
+    through :func:`~repro.experiments.parallel.run_grid` in two phases:
+    the per-load NS baselines first (the tuned spec's limits depend on
+    them), then every (scheme, load) cell at once.  With a *cache* the
+    NS scheme cells hit the just-stored baseline fingerprints for free.
+
     ``data``: ``"loads"``, ``"utilization"`` (scheme -> [..]),
     ``"slowdown"``/``"turnaround"`` (scheme -> category -> [..]).
     """
     preset = get_preset(trace)
     base = _trace(trace, n_jobs, seed)
     schemes = ["SF = 2 Tuned", "No Suspension", "IS"]
+    specs = [s for s in tuned_schemes(suspension_factors=(2.0,)) if s.label in schemes]
+    scaled = {load: scale_load(base, load) for load in loads}
+
+    # Phase 1: the NS baseline for each load (calibrates the tuned spec).
+    baseline_cells = [
+        GridCell(
+            key=f"NS@{load:g}",
+            jobs=scaled[load],
+            n_procs=preset.n_procs,
+            scheduler_config=EasyBackfillScheduler().config(),
+        )
+        for load in loads
+    ]
+    baselines = run_grid(baseline_cells, workers=workers, cache=cache).results
+
+    # Phase 2: every (scheme, load) cell in one fan-out.
+    cells: list[GridCell] = []
+    for load in loads:
+        for spec in specs:
+            if spec.needs_baseline:
+                assert spec.factory_with_baseline is not None
+                scheduler = spec.factory_with_baseline(baselines[f"NS@{load:g}"])
+            else:
+                scheduler = spec.factory()
+            cells.append(
+                GridCell(
+                    key=f"{spec.label}@{load:g}",
+                    jobs=scaled[load],
+                    n_procs=preset.n_procs,
+                    scheduler_config=scheduler.config(),
+                )
+            )
+    grid = run_grid(cells, workers=workers, cache=cache).results
+
     utilization: dict[str, list[float]] = {s: [] for s in schemes}
     sd: dict[str, dict[tuple[str, str], list[float]]] = {s: {} for s in schemes}
     tat: dict[str, dict[tuple[str, str], list[float]]] = {s: {} for s in schemes}
     for load in loads:
-        scaled = scale_load(base, load)
-        results = compare_schemes(
-            scaled,
-            preset.n_procs,
-            [
-                s
-                for s in tuned_schemes(suspension_factors=(2.0,))
-                if s.label in schemes
-            ],
-        )
         for label in schemes:
-            r = results[label]
+            r = grid[f"{label}@{load:g}"]
             utilization[label].append(r.steady_utilization)
             stats = per_category_stats(r.jobs, classifier=classify_four_way)
             for cat, s in stats.items():

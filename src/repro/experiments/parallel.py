@@ -1,0 +1,240 @@
+"""Process-pool experiment execution with deterministic merging.
+
+The paper's evaluation is an embarrassingly parallel grid -- scheme x
+trace x seed x load x overhead cells that share nothing at run time --
+yet :func:`~repro.experiments.runner.compare_schemes` walks it serially.
+This module fans cells out over ``multiprocessing`` workers and merges
+the results deterministically:
+
+* every cell is a :class:`GridCell` -- pristine jobs plus a
+  **JSON-stable scheduler config** (:meth:`Scheduler.config`), because
+  scheduler *instances* are stateful, single-use and unpicklable
+  (factories close over arbitrary state); the worker rebuilds a fresh
+  instance via :func:`repro.schedulers.registry.scheduler_from_config`;
+* results are keyed by the cell's caller-chosen ``key`` and returned in
+  **input order**, never completion order, so a parallel run is
+  indistinguishable from a serial one (the simulator itself is
+  deterministic -- see :mod:`repro.sim.events`);
+* an optional :class:`~repro.experiments.cache.ResultCache` short-cuts
+  cells whose fingerprint was computed by any earlier run.
+
+:func:`compare_schemes_parallel` is a drop-in replacement for
+:func:`~repro.experiments.runner.compare_schemes` (same signature plus
+``workers`` / ``cache``) whose output is verified byte-identical to the
+serial path by ``tests/test_parallel.py``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.experiments.cache import ResultCache, cell_fingerprint, fingerprint_jobs
+from repro.experiments.runner import SchemeSpec, simulate
+from repro.schedulers.easy import EasyBackfillScheduler
+from repro.schedulers.registry import scheduler_from_config
+from repro.sim.driver import SimulationResult, SuspensionOverheadModel
+from repro.workload.job import Job
+
+#: key used for the shared NS baseline cell of calibrated-TSS specs
+BASELINE_KEY = "__ns_baseline__"
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One independent simulation of the experiment grid.
+
+    ``key`` is the caller's name for the cell (scheme label, "(scheme,
+    load)" string, ...) and must be unique within one :func:`run_grid`
+    call -- it keys the merged result dict.
+    """
+
+    key: str
+    jobs: list[Job]
+    n_procs: int
+    scheduler_config: Mapping[str, object]
+    overhead_model: SuspensionOverheadModel | None = None
+    migratable: bool = False
+
+    def fingerprint(self, jobs_fp: str | None = None) -> str:
+        """Content address for the cache; *jobs_fp* skips re-hashing."""
+        return cell_fingerprint(
+            jobs_fp if jobs_fp is not None else fingerprint_jobs(self.jobs),
+            self.n_procs,
+            self.scheduler_config,
+            self.overhead_model,
+            self.migratable,
+        )
+
+
+@dataclass
+class GridOutcome:
+    """What :func:`run_grid` hands back.
+
+    ``results`` preserves cell input order.  ``executed`` counts cells
+    actually simulated (this process or its workers); ``cache_hits``
+    counts cells served from the cache.  ``executed == 0`` on a fully
+    warm cache -- the property bench and tests assert on.
+    """
+
+    results: dict[str, SimulationResult] = field(default_factory=dict)
+    executed: int = 0
+    cache_hits: int = 0
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalise a worker-count argument.
+
+    ``None`` / ``1`` -> 1 (in-process, no pool); ``0`` -> one per CPU;
+    anything else is taken literally (minimum 1).
+    """
+    if workers is None:
+        return 1
+    if workers == 0:
+        return os.cpu_count() or 1
+    return max(int(workers), 1)
+
+
+def _simulate_cell(cell: GridCell) -> SimulationResult:
+    """Run one cell; module-level so worker processes can unpickle it."""
+    scheduler = scheduler_from_config(cell.scheduler_config)
+    return simulate(
+        list(cell.jobs),
+        scheduler,
+        cell.n_procs,
+        cell.overhead_model,
+        migratable=cell.migratable,
+    )
+
+
+def run_grid(
+    cells: Sequence[GridCell],
+    workers: int | None = None,
+    cache: ResultCache | None = None,
+) -> GridOutcome:
+    """Execute *cells*, in parallel and/or from cache, merging deterministically.
+
+    Parameters
+    ----------
+    cells:
+        The grid; keys must be unique.
+    workers:
+        See :func:`resolve_workers`.  With one worker everything runs
+        in-process (no pool, no pickling), which is also the fallback
+        when only one cell needs simulating.
+    cache:
+        Optional result cache; hits skip simulation entirely and fresh
+        results are stored back.
+
+    The result dict iterates in cell input order regardless of worker
+    completion order, and each value is bit-for-bit the result a serial
+    run would produce (the simulation itself is deterministic and
+    workers share nothing).
+    """
+    keys = [c.key for c in cells]
+    if len(set(keys)) != len(keys):
+        dupes = sorted({k for k in keys if keys.count(k) > 1})
+        raise ValueError(f"duplicate grid cell keys: {dupes}")
+
+    slots: list[SimulationResult | None] = [None] * len(cells)
+    outcome = GridOutcome()
+
+    # cache probe -- fingerprint each cell, memoising the workload hash
+    # by identity (grids typically reuse one jobs list across schemes)
+    pending: list[int] = []
+    fingerprints: list[str | None] = [None] * len(cells)
+    if cache is not None:
+        jobs_fp_memo: dict[int, str] = {}
+        for i, cell in enumerate(cells):
+            memo_key = id(cell.jobs)
+            if memo_key not in jobs_fp_memo:
+                jobs_fp_memo[memo_key] = fingerprint_jobs(cell.jobs)
+            fp = cell.fingerprint(jobs_fp_memo[memo_key])
+            fingerprints[i] = fp
+            hit = cache.get(fp)
+            if hit is not None:
+                slots[i] = hit
+                outcome.cache_hits += 1
+            else:
+                pending.append(i)
+    else:
+        pending = list(range(len(cells)))
+
+    n_workers = min(resolve_workers(workers), max(len(pending), 1))
+    if pending:
+        if n_workers > 1 and len(pending) > 1:
+            with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                futures = [(i, pool.submit(_simulate_cell, cells[i])) for i in pending]
+                # collect in submission order: merging never depends on
+                # completion order
+                for i, fut in futures:
+                    slots[i] = fut.result()
+        else:
+            for i in pending:
+                slots[i] = _simulate_cell(cells[i])
+        outcome.executed = len(pending)
+        if cache is not None:
+            for i in pending:
+                fp = fingerprints[i]
+                result = slots[i]
+                assert fp is not None and result is not None
+                cache.put(fp, result)
+
+    for cell, result in zip(cells, slots):
+        assert result is not None
+        outcome.results[cell.key] = result
+    return outcome
+
+
+def compare_schemes_parallel(
+    jobs: list[Job],
+    n_procs: int,
+    schemes: list[SchemeSpec],
+    overhead_model: SuspensionOverheadModel | None = None,
+    *,
+    workers: int | None = None,
+    cache: ResultCache | None = None,
+) -> dict[str, SimulationResult]:
+    """Parallel, cache-aware drop-in for :func:`compare_schemes`.
+
+    Semantics match the serial function exactly: TSS specs flagged
+    ``needs_baseline`` receive limits calibrated from one shared NS
+    (EASY) run over the same trace.  The baseline runs first (it is a
+    dependency, and itself cacheable); the scheme cells then fan out
+    over *workers* processes.
+
+    Output is keyed by scheme label in scheme order, byte-identical to
+    ``compare_schemes(jobs, n_procs, schemes, overhead_model)``.
+    """
+    baseline: SimulationResult | None = None
+    if any(s.needs_baseline for s in schemes):
+        baseline_cell = GridCell(
+            key=BASELINE_KEY,
+            jobs=jobs,
+            n_procs=n_procs,
+            scheduler_config=EasyBackfillScheduler().config(),
+            overhead_model=overhead_model,
+        )
+        baseline = run_grid([baseline_cell], workers=None, cache=cache).results[
+            BASELINE_KEY
+        ]
+
+    cells: list[GridCell] = []
+    for spec in schemes:
+        if spec.needs_baseline:
+            assert baseline is not None and spec.factory_with_baseline is not None
+            scheduler = spec.factory_with_baseline(baseline)
+        else:
+            scheduler = spec.factory()
+        cells.append(
+            GridCell(
+                key=spec.label,
+                jobs=jobs,
+                n_procs=n_procs,
+                scheduler_config=scheduler.config(),
+                overhead_model=overhead_model,
+            )
+        )
+    return run_grid(cells, workers=workers, cache=cache).results

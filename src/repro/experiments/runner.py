@@ -21,15 +21,28 @@ from repro.core.tss import (
 )
 from repro.schedulers.base import Scheduler
 from repro.schedulers.easy import EasyBackfillScheduler
-from repro.sim.driver import SchedulingSimulation, SimulationResult
+from repro.sim.driver import (
+    SchedulingSimulation,
+    SimulationResult,
+    SuspensionOverheadModel,
+)
 from repro.workload.job import Job, fresh_copies
+
+__all__ = [
+    "SchemeSpec",
+    "SuspensionOverheadModel",
+    "compare_schemes",
+    "simulate",
+    "standard_schemes",
+    "tuned_schemes",
+]
 
 
 def simulate(
     jobs: list[Job],
     scheduler: Scheduler,
     n_procs: int,
-    overhead_model: object | None = None,
+    overhead_model: SuspensionOverheadModel | None = None,
     copy_jobs: bool = True,
     migratable: bool = False,
 ) -> SimulationResult:
@@ -128,12 +141,16 @@ def compare_schemes(
     jobs: list[Job],
     n_procs: int,
     schemes: list[SchemeSpec],
-    overhead_model: object | None = None,
+    overhead_model: SuspensionOverheadModel | None = None,
 ) -> dict[str, SimulationResult]:
     """Run every scheme over (fresh copies of) the same workload.
 
     TSS specs flagged ``needs_baseline`` receive calibrated limits from
     an NS (EASY) run over the same trace, executed once and shared.
+
+    For multi-core fan-out and an on-disk result cache see
+    :func:`repro.experiments.parallel.compare_schemes_parallel`, a
+    drop-in replacement verified byte-identical to this path.
     """
     baseline: SimulationResult | None = None
     if any(s.needs_baseline for s in schemes):

@@ -40,6 +40,11 @@ class Scheduler(ABC):
     #: Human-readable policy name for reports.
     name: str = "base"
 
+    #: Stable machine-readable scheme id; the key under which
+    #: :mod:`repro.schedulers.registry` can rebuild the policy from its
+    #: :meth:`config`.  Concrete schedulers must override it.
+    scheme_id: str = "base"
+
     #: If not ``None``, the driver fires :meth:`on_timer` every this many
     #: seconds while work remains.  The paper's preemptive schemes use a
     #: 60 s preemption sweep (section IV-B).
@@ -93,6 +98,30 @@ class Scheduler(ABC):
     def describe(self) -> str:
         """One-line description for report headers."""
         return self.name
+
+    def config(self) -> dict[str, object]:
+        """The policy's full configuration as a JSON-serialisable mapping.
+
+        Contract: the mapping **completely determines scheduling
+        behaviour** -- two scheduler instances with equal configs must
+        produce identical schedules over any workload.  It always
+        contains a ``"scheme"`` key (:attr:`scheme_id`) and only
+        JSON-stable values (numbers, strings, bools, lists, dicts with
+        string keys).
+
+        Two consumers rely on this:
+
+        * the on-disk result cache (:mod:`repro.experiments.cache`)
+          folds it into the cell fingerprint, so any behavioural knob a
+          subclass adds **must** appear here or cached results go stale
+          silently;
+        * the parallel executor (:mod:`repro.experiments.parallel`)
+          ships it to worker processes, where
+          :func:`repro.schedulers.registry.scheduler_from_config`
+          rebuilds a fresh single-use instance (scheduler objects
+          themselves are stateful and non-portable).
+        """
+        return {"scheme": self.scheme_id}
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.describe()}>"

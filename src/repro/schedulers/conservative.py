@@ -27,6 +27,7 @@ class ConservativeBackfillScheduler(Scheduler):
     """Per-job reservations with compression on early completion."""
 
     name = "CONS"
+    scheme_id = "conservative"
 
     def __init__(self) -> None:
         super().__init__()

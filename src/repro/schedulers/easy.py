@@ -29,6 +29,7 @@ class EasyBackfillScheduler(Scheduler):
     """EASY/aggressive backfilling over user estimates."""
 
     name = "EASY"
+    scheme_id = "easy"
 
     def on_arrival(self, job: Job) -> None:
         self.schedule_pass()

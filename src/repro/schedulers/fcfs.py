@@ -17,6 +17,7 @@ class FCFSScheduler(Scheduler):
     """Strict arrival-order dispatch, no backfilling."""
 
     name = "FCFS"
+    scheme_id = "fcfs"
 
     def on_arrival(self, job: Job) -> None:
         self._dispatch_in_order()

@@ -64,6 +64,10 @@ class GangScheduler(Scheduler):
     """
 
     name = "GANG"
+    scheme_id = "gang"
+
+    def config(self) -> dict[str, object]:
+        return {"scheme": self.scheme_id, "quantum": self.quantum}
 
     def __init__(self, quantum: float = 600.0) -> None:
         super().__init__()

@@ -36,12 +36,17 @@ class RelaxedBackfillScheduler(Scheduler):
         may slip to admit a backfill.  0 reproduces EASY exactly.
     """
 
+    scheme_id = "relaxed"
+
     def __init__(self, relaxation: float = 0.5) -> None:
         super().__init__()
         if relaxation < 0:
             raise ValueError("relaxation must be nonnegative")
         self.relaxation = float(relaxation)
         self.name = f"RELAXED(r={relaxation:g})"
+
+    def config(self) -> dict[str, object]:
+        return {"scheme": self.scheme_id, "relaxation": self.relaxation}
 
     def on_arrival(self, job: Job) -> None:
         self.schedule_pass()

@@ -49,6 +49,8 @@ class SpeculativeBackfillScheduler(Scheduler):
         conventional service.
     """
 
+    scheme_id = "speculative"
+
     def __init__(self, speculation_window: float = 900.0, max_kills: int = 2) -> None:
         super().__init__()
         if speculation_window <= 0:
@@ -58,6 +60,13 @@ class SpeculativeBackfillScheduler(Scheduler):
         self.speculation_window = float(speculation_window)
         self.max_kills = int(max_kills)
         self.name = "SPEC-BF"
+
+    def config(self) -> dict[str, object]:
+        return {
+            "scheme": self.scheme_id,
+            "speculation_window": self.speculation_window,
+            "max_kills": self.max_kills,
+        }
 
     def on_arrival(self, job: Job) -> None:
         self.schedule_pass()

@@ -41,7 +41,7 @@ produce identical schedules.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Protocol
 
 from repro.cluster.machine import Cluster
@@ -95,6 +95,12 @@ class SimulationResult:
     last_arrival: float = 0.0
     #: busy processor-seconds accumulated up to the last arrival
     busy_in_arrival_window: float = 0.0
+    #: whether the arrival window was actually recorded (the last arrival
+    #: event was dispatched).  ``False`` for results built by hand or for
+    #: runs aborted before the final arrival; distinguishes "no window"
+    #: from "window closed at t = 0" (a burst trace), which
+    #: ``last_arrival == 0`` alone cannot.
+    arrival_window_closed: bool = False
 
     @property
     def utilization(self) -> float:
@@ -121,9 +127,18 @@ class SimulationResult:
         especially for preemptive schemes, whose suspended long jobs
         serialise during the drain.  This metric reproduces what the
         paper measured (see EXPERIMENTS.md, Figs 35/38).
+
+        Falls back to whole-run :attr:`utilization` only when the window
+        was never recorded (:attr:`arrival_window_closed` is false).  A
+        window that *closed at t = 0* -- every arrival in one burst at
+        trace start -- has zero length, so no steady-state utilisation
+        exists and this returns 0.0 rather than silently substituting
+        the drain-tail-depressed whole-run figure.
         """
-        if self.last_arrival <= 0:
+        if not self.arrival_window_closed:
             return self.utilization
+        if self.last_arrival <= 0:
+            return 0.0
         return self.busy_in_arrival_window / (self.n_procs * self.last_arrival)
 
 
@@ -181,6 +196,7 @@ class SchedulingSimulation:
         self._busy_mark = 0.0
         self._window_busy = 0.0
         self._window_end = 0.0
+        self._window_closed = False
 
     # ------------------------------------------------------------------
     # read-only views for schedulers & tests
@@ -339,6 +355,7 @@ class SchedulingSimulation:
             self._account_busy()
             self._window_busy = self._busy_seconds
             self._window_end = self.now
+            self._window_closed = True
         job.mark_submitted(self.now)
         self._queued[job.job_id] = job
         self.scheduler.on_arrival(job)
@@ -435,4 +452,5 @@ class SchedulingSimulation:
             total_kills=self.total_kills,
             last_arrival=self._window_end,
             busy_in_arrival_window=self._window_busy,
+            arrival_window_closed=self._window_closed,
         )

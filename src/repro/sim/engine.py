@@ -101,8 +101,20 @@ class EventLoop:
         self.queue.cancel(event)
 
     def stop(self) -> None:
-        """Request the loop to exit after the current event."""
+        """Request the loop to exit after the current event.
+
+        Calling :meth:`stop` while idle (before or between :meth:`run`
+        calls) leaves a *pending* stop: the next :meth:`run` returns
+        immediately without dispatching anything.  The stop is consumed
+        when a :meth:`run` call honours it, so a subsequent :meth:`run`
+        resumes normally.
+        """
         self._stopped = True
+
+    @property
+    def stop_pending(self) -> bool:
+        """Whether a :meth:`stop` request has not yet been honoured."""
+        return self._stopped
 
     # ------------------------------------------------------------------
     # execution
@@ -137,10 +149,17 @@ class EventLoop:
         until:
             If given, stop once the next event would fire after this time
             (the clock is left at the last dispatched event).
+
+        A pending :meth:`stop` (issued before this call) is honoured:
+        the loop dispatches nothing and the stop is consumed.  Resetting
+        the flag here instead would silently discard stops issued
+        between runs -- see :meth:`stop`.
         """
-        self._stopped = False
         while self.queue and not self._stopped:
             next_time = self.queue.peek_time()
             if until is not None and next_time is not None and next_time > until:
                 break
             self.step()
+        # consume the stop that ended (or pre-empted) this run so the
+        # next run() starts fresh
+        self._stopped = False

@@ -79,6 +79,9 @@ class Event:
     payload: Any = None
     epoch: int = 0
     cancelled: bool = field(default=False, compare=False)
+    #: set by the calendar when the event is popped; a fired event is no
+    #: longer queued, so cancelling it must not touch the live count
+    fired: bool = field(default=False, compare=False)
 
     def cancel(self) -> None:
         """Mark this event dead; the calendar will silently skip it."""
@@ -127,14 +130,17 @@ class EventQueue:
     def cancel(self, event: Event) -> None:
         """Lazily cancel *event*.
 
-        Cancelling an event that already fired or was already cancelled is
-        a no-op; the live count only decrements for entries still queued.
+        Cancelling an event that already fired (was popped) or was already
+        cancelled is a no-op: the live count only decrements for entries
+        still queued.  Without the ``fired`` guard a late cancel would
+        debit ``_live`` for an entry the heap no longer holds, silently
+        undercounting the remaining live events and ending
+        :meth:`~repro.sim.engine.EventLoop.run` early.
         """
-        if not event.cancelled:
-            event.cancel()
-            self._live -= 1
-            if self._live < 0:  # cancelled after pop; restore invariant
-                self._live = 0
+        if event.fired or event.cancelled:
+            return
+        event.cancel()
+        self._live -= 1
 
     def _drop_dead(self) -> None:
         while self._heap and self._heap[0][3].cancelled:
@@ -152,6 +158,7 @@ class EventQueue:
         if not self._heap:
             raise IndexError("pop from empty EventQueue")
         event = heapq.heappop(self._heap)[3]
+        event.fired = True
         self._live -= 1
         return event
 

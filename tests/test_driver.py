@@ -253,6 +253,53 @@ def test_utilization_in_unit_interval():
     assert 0.0 < result.utilization <= 1.0
 
 
+def test_steady_utilization_burst_at_time_zero():
+    """All arrivals at t=0: the arrival window has zero length.
+
+    Regression: the old ``last_arrival <= 0`` test conflated this case
+    with "no window recorded" and silently fell back to whole-run
+    utilisation.  With the explicit :attr:`arrival_window_closed` flag a
+    genuinely zero-length window now reports 0.0 (no busy time can
+    accrue in zero seconds), distinct from the fallback.
+    """
+    jobs = [make_job(job_id=i, submit=0.0, run=50.0, procs=2) for i in range(4)]
+    _, result = drive(jobs, GreedyScheduler(), n_procs=4)
+    assert result.arrival_window_closed
+    assert result.last_arrival == 0.0
+    assert result.steady_utilization == 0.0
+    assert result.utilization > 0.0  # whole-run measure unaffected
+
+
+def test_steady_utilization_spread_arrivals():
+    """With arrivals spread out, the window measure uses exactly the
+    busy area accrued up to the last arrival."""
+    jobs = [
+        make_job(job_id=0, submit=0.0, run=100.0, procs=4),
+        make_job(job_id=1, submit=50.0, run=10.0, procs=2),
+    ]
+    _, result = drive(jobs, GreedyScheduler(), n_procs=4)
+    assert result.arrival_window_closed
+    assert result.last_arrival == 50.0
+    # job 0 holds the whole machine for [0, 50): fully utilised window
+    assert result.steady_utilization == pytest.approx(1.0)
+
+
+def test_steady_utilization_unclosed_window_falls_back():
+    """A result with no recorded window reports whole-run utilisation."""
+    from repro.sim.driver import SimulationResult
+
+    r = SimulationResult(
+        scheduler="x",
+        n_procs=4,
+        jobs=[],
+        makespan=100.0,
+        busy_proc_seconds=200.0,
+        total_suspensions=0,
+        arrival_window_closed=False,
+    )
+    assert r.steady_utilization == r.utilization == pytest.approx(0.5)
+
+
 # ----------------------------------------------------------------------
 # drain enforcement
 # ----------------------------------------------------------------------

@@ -100,6 +100,43 @@ def test_stop_exits_loop():
     assert seen == ["a"]
 
 
+def test_stop_before_run_is_honoured():
+    """A stop issued while idle must pre-empt the next run().
+
+    Regression: run() used to reset ``_stopped = False`` on entry,
+    silently discarding any stop requested between runs.
+    """
+    loop, seen = collecting_loop()
+    loop.at(1.0, EventKind.GENERIC, "a")
+    loop.stop()
+    assert loop.stop_pending
+    loop.run()
+    assert seen == []  # nothing dispatched: the pending stop won
+    assert not loop.stop_pending  # ... and was consumed
+    loop.run()  # next run resumes normally
+    assert [p for _, p in seen] == ["a"]
+
+
+def test_stop_during_run_consumed_for_next_run():
+    """The in-handler ordering: stop mid-run ends that run only."""
+    loop = EventLoop()
+    seen: list[object] = []
+
+    def handler(ev):
+        seen.append(ev.payload)
+        if ev.payload == "a":
+            loop.stop()
+
+    loop.on(EventKind.GENERIC, handler)
+    loop.at(1.0, EventKind.GENERIC, "a")
+    loop.at(2.0, EventKind.GENERIC, "b")
+    loop.run()
+    assert seen == ["a"]
+    assert not loop.stop_pending
+    loop.run()  # stop was consumed; remaining events dispatch
+    assert seen == ["a", "b"]
+
+
 def test_step_returns_none_when_idle():
     loop, _ = collecting_loop()
     assert loop.step() is None

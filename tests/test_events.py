@@ -136,6 +136,70 @@ def test_interleaved_push_pop_stays_ordered():
     assert q.pop().payload == "c"
 
 
+def test_cancel_after_pop_is_noop():
+    """Cancelling a fired event must not debit the live count.
+
+    Regression: the old cancel() decremented ``_live`` for any
+    not-yet-cancelled event, including ones already popped -- after
+    which ``len(q)`` undercounted the queue and ``bool(q)`` could go
+    false with live events still queued (ending the event loop early).
+    """
+    q = EventQueue()
+    first = q.schedule(1.0, EventKind.GENERIC, "a")
+    q.schedule(2.0, EventKind.GENERIC, "b")
+    popped = q.pop()
+    assert popped is first and popped.fired
+    q.cancel(popped)  # late cancel of a fired event
+    assert len(q) == 1
+    assert bool(q)
+    assert q.pop().payload == "b"
+
+
+def test_cancel_after_pop_repeatedly_never_goes_negative():
+    q = EventQueue()
+    events = [q.schedule(float(i), EventKind.GENERIC, i) for i in range(3)]
+    fired = [q.pop() for _ in range(2)]
+    for ev in fired:
+        q.cancel(ev)
+        q.cancel(ev)  # idempotent on fired events too
+    assert len(q) == 1
+    q.cancel(events[2])
+    assert len(q) == 0
+    assert q.peek_time() is None
+
+
+def test_drain_marks_events_fired_and_keeps_count():
+    q = EventQueue()
+    scheduled = [q.schedule(float(i), EventKind.GENERIC, i) for i in range(4)]
+    drained = []
+    for ev in q.drain():
+        drained.append(ev)
+        assert ev.fired
+        # live count reflects exactly the entries still queued
+        assert len(q) == len(scheduled) - len(drained)
+    assert drained == scheduled
+    # cancelling everything drained is a no-op
+    for ev in drained:
+        q.cancel(ev)
+    assert len(q) == 0 and not q
+
+
+def test_cancelled_then_popped_elsewhere_keeps_invariant():
+    """Mixed cancel/pop interleavings keep ``len`` == live entries."""
+    q = EventQueue()
+    a = q.schedule(1.0, EventKind.GENERIC, "a")
+    b = q.schedule(2.0, EventKind.GENERIC, "b")
+    c = q.schedule(3.0, EventKind.GENERIC, "c")
+    q.cancel(b)
+    assert len(q) == 2
+    assert q.pop() is a
+    q.cancel(b)  # second cancel of a dead event: no-op
+    q.cancel(a)  # cancel of a fired event: no-op
+    assert len(q) == 1
+    assert q.pop() is c
+    assert len(q) == 0
+
+
 def test_kill_events_dispatch_after_finishes():
     """A finish and a kill at the same instant: the finish wins, so a
     job completing exactly at its speculation deadline is not killed."""

@@ -2,14 +2,12 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.selective_suspension import SelectiveSuspensionScheduler
 from repro.experiments.runner import simulate
 from repro.metrics.aggregate import overall_stats
 from repro.workload.archive import SDSC
 from repro.workload.synthetic import generate_trace
-from tests.conftest import make_job, run_sim
+from tests.conftest import make_job
 from repro.cluster.machine import Cluster
 from repro.sim.driver import SchedulingSimulation
 

@@ -79,7 +79,6 @@ def test_overhead_inflates_turnaround_in_simulation(sdsc_trace_small):
     """End to end: the same SS run with overhead has (weakly) worse
     total turnaround and identical job count."""
     from repro.core.selective_suspension import SelectiveSuspensionScheduler
-    from repro.metrics.aggregate import overall_stats
     from repro.workload.archive import SDSC
     from tests.conftest import run_sim
 

@@ -1,0 +1,303 @@
+"""Parallel experiment executor, result cache, scheduler registry.
+
+The contract under test (see :mod:`repro.experiments.parallel`):
+
+* a parallel run is **indistinguishable** from a serial one -- same
+  keys, same order, same per-job schedules, bit for bit;
+* a warm cache serves every cell without simulating anything
+  (``GridOutcome.executed == 0``);
+* the cache fingerprint covers everything that changes results --
+  trace, machine size, scheduler config (SF, interval, width rule,
+  TSS limits), overhead model, migratable flag -- and nothing else.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.overhead import DiskSwapOverheadModel, FixedOverheadModel
+from repro.core.selective_suspension import SelectiveSuspensionScheduler
+from repro.core.tss import TunableSelectiveSuspensionScheduler
+from repro.experiments import (
+    GridCell,
+    ResultCache,
+    cell_fingerprint,
+    compare_schemes,
+    compare_schemes_parallel,
+    fingerprint_jobs,
+    run_grid,
+    simulate,
+    standard_schemes,
+    tuned_schemes,
+)
+from repro.experiments.parallel import resolve_workers
+from repro.schedulers.easy import EasyBackfillScheduler
+from repro.schedulers.registry import known_schemes, scheduler_from_config
+from repro.workload.synthetic import generate_trace
+
+N_PROCS = 128
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace("SDSC", n_jobs=1000, seed=11)
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return generate_trace("SDSC", n_jobs=120, seed=5)
+
+
+def schedule_signature(result):
+    """Everything externally observable about one simulation."""
+    return (
+        result.scheduler,
+        result.makespan,
+        result.busy_proc_seconds,
+        result.total_suspensions,
+        result.events_dispatched,
+        tuple(
+            (j.job_id, j.first_start_time, j.finish_time, j.suspension_count)
+            for j in result.jobs
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# scheduler config round-trips (the registry the workers rely on)
+# ----------------------------------------------------------------------
+def test_config_round_trip_all_registered_schemes():
+    for scheme in known_schemes():
+        cfg = scheduler_from_config({"scheme": scheme}).config()
+        rebuilt = scheduler_from_config(cfg)
+        assert rebuilt.config() == cfg, scheme
+
+
+def test_config_round_trip_preserves_parameters():
+    s = SelectiveSuspensionScheduler(
+        suspension_factor=5.0, preemption_interval=30.0, width_rule=False
+    )
+    rebuilt = scheduler_from_config(s.config())
+    assert rebuilt.config() == s.config()
+    assert rebuilt.criteria.suspension_factor == 5.0
+    assert rebuilt.timer_interval == 30.0
+    assert rebuilt.criteria.width_rule is False
+
+
+def test_config_round_trip_tss_calibrated_limits(small_trace):
+    ns = simulate(small_trace, EasyBackfillScheduler(), N_PROCS)
+    from repro.core.tss import limits_from_result
+
+    s = TunableSelectiveSuspensionScheduler(2.0, limits=limits_from_result(ns))
+    cfg = s.config()
+    rebuilt = scheduler_from_config(cfg)
+    assert rebuilt.config() == cfg
+    # and the rebuilt scheduler schedules identically
+    a = simulate(small_trace, s, N_PROCS)
+    b = simulate(small_trace, scheduler_from_config(cfg), N_PROCS)
+    assert schedule_signature(a) == schedule_signature(b)
+
+
+def test_unknown_scheme_rejected():
+    with pytest.raises(ValueError, match="unknown scheme"):
+        scheduler_from_config({"scheme": "no-such-policy"})
+
+
+# ----------------------------------------------------------------------
+# parallel == serial
+# ----------------------------------------------------------------------
+def test_parallel_identical_to_serial(trace):
+    serial = compare_schemes(trace, N_PROCS, standard_schemes())
+    parallel = compare_schemes_parallel(
+        trace, N_PROCS, standard_schemes(), workers=4
+    )
+    assert list(parallel) == list(serial)  # same keys, same order
+    for label in serial:
+        assert schedule_signature(parallel[label]) == schedule_signature(
+            serial[label]
+        ), label
+
+
+def test_parallel_identical_to_serial_with_baseline_and_overhead(small_trace):
+    overhead = DiskSwapOverheadModel()
+    schemes = tuned_schemes(suspension_factors=(2.0,))
+    serial = compare_schemes(small_trace, N_PROCS, schemes, overhead)
+    parallel = compare_schemes_parallel(
+        small_trace, N_PROCS, schemes, overhead, workers=3
+    )
+    assert list(parallel) == list(serial)
+    for label in serial:
+        assert schedule_signature(parallel[label]) == schedule_signature(
+            serial[label]
+        ), label
+
+
+def test_run_grid_preserves_input_order(small_trace):
+    cells = [
+        GridCell(
+            key=f"sf={sf}",
+            jobs=small_trace,
+            n_procs=N_PROCS,
+            scheduler_config=SelectiveSuspensionScheduler(sf).config(),
+        )
+        for sf in (5.0, 1.5, 2.0)  # deliberately not sorted
+    ]
+    outcome = run_grid(cells, workers=3)
+    assert list(outcome.results) == ["sf=5.0", "sf=1.5", "sf=2.0"]
+    assert outcome.executed == 3
+    assert outcome.cache_hits == 0
+
+
+def test_run_grid_rejects_duplicate_keys(small_trace):
+    cell = GridCell(
+        key="dup",
+        jobs=small_trace,
+        n_procs=N_PROCS,
+        scheduler_config=EasyBackfillScheduler().config(),
+    )
+    with pytest.raises(ValueError, match="duplicate"):
+        run_grid([cell, cell])
+
+
+def test_resolve_workers():
+    assert resolve_workers(None) == 1
+    assert resolve_workers(1) == 1
+    assert resolve_workers(0) >= 1  # one per CPU
+    assert resolve_workers(7) == 7
+    assert resolve_workers(-3) == 1
+
+
+# ----------------------------------------------------------------------
+# the result cache
+# ----------------------------------------------------------------------
+def test_warm_cache_runs_zero_simulations(small_trace, tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    schemes = standard_schemes(suspension_factors=(2.0,))
+    first = compare_schemes_parallel(
+        small_trace, N_PROCS, schemes, workers=2, cache=cache
+    )
+    stored = len(cache)
+    assert stored > 0
+
+    cells = [
+        GridCell(
+            key=label,
+            jobs=small_trace,
+            n_procs=N_PROCS,
+            scheduler_config=cfg,
+        )
+        for label, cfg in (
+            ("SF = 2", SelectiveSuspensionScheduler(2.0).config()),
+            ("No Suspension", EasyBackfillScheduler().config()),
+        )
+    ]
+    outcome = run_grid(cells, workers=2, cache=cache)
+    assert outcome.executed == 0  # fully warm: nothing simulated
+    assert outcome.cache_hits == len(cells)
+    assert len(cache) == stored  # nothing new written
+    for label in ("SF = 2", "No Suspension"):
+        assert schedule_signature(outcome.results[label]) == schedule_signature(
+            first[label]
+        )
+
+
+def test_cached_result_identical_to_fresh(small_trace, tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    cell = GridCell(
+        key="ss",
+        jobs=small_trace,
+        n_procs=N_PROCS,
+        scheduler_config=SelectiveSuspensionScheduler(2.0).config(),
+    )
+    cold = run_grid([cell], cache=cache)
+    warm = run_grid([cell], cache=cache)
+    assert cold.executed == 1 and cold.cache_hits == 0
+    assert warm.executed == 0 and warm.cache_hits == 1
+    assert schedule_signature(cold.results["ss"]) == schedule_signature(
+        warm.results["ss"]
+    )
+
+
+def test_fingerprint_sensitivity(small_trace):
+    """The cache key must change with anything that changes results."""
+    jobs_fp = fingerprint_jobs(small_trace)
+    base = cell_fingerprint(
+        jobs_fp, N_PROCS, SelectiveSuspensionScheduler(2.0).config(), None, False
+    )
+
+    # different SF
+    assert base != cell_fingerprint(
+        jobs_fp, N_PROCS, SelectiveSuspensionScheduler(1.5).config(), None, False
+    )
+    # different sweep interval
+    assert base != cell_fingerprint(
+        jobs_fp,
+        N_PROCS,
+        SelectiveSuspensionScheduler(2.0, preemption_interval=30.0).config(),
+        None,
+        False,
+    )
+    # width rule off
+    assert base != cell_fingerprint(
+        jobs_fp,
+        N_PROCS,
+        SelectiveSuspensionScheduler(2.0, width_rule=False).config(),
+        None,
+        False,
+    )
+    # overhead model present / different parameters
+    with_oh = cell_fingerprint(
+        jobs_fp,
+        N_PROCS,
+        SelectiveSuspensionScheduler(2.0).config(),
+        DiskSwapOverheadModel(),
+        False,
+    )
+    assert base != with_oh
+    assert with_oh != cell_fingerprint(
+        jobs_fp,
+        N_PROCS,
+        SelectiveSuspensionScheduler(2.0).config(),
+        FixedOverheadModel(30.0),
+        False,
+    )
+    # migratable flag
+    assert base != cell_fingerprint(
+        jobs_fp, N_PROCS, SelectiveSuspensionScheduler(2.0).config(), None, True
+    )
+    # machine size
+    assert base != cell_fingerprint(
+        jobs_fp, 256, SelectiveSuspensionScheduler(2.0).config(), None, False
+    )
+    # different trace (seed)
+    other_fp = fingerprint_jobs(generate_trace("SDSC", n_jobs=120, seed=6))
+    assert other_fp != jobs_fp
+    assert base != cell_fingerprint(
+        other_fp, N_PROCS, SelectiveSuspensionScheduler(2.0).config(), None, False
+    )
+    # ... and identical inputs reproduce the same fingerprint
+    assert base == cell_fingerprint(
+        jobs_fp, N_PROCS, SelectiveSuspensionScheduler(2.0).config(), None, False
+    )
+
+
+def test_jobs_fingerprint_order_sensitive(small_trace):
+    reordered = list(reversed(small_trace))
+    assert fingerprint_jobs(small_trace) != fingerprint_jobs(reordered)
+
+
+def test_cache_survives_corrupt_entry(small_trace, tmp_path):
+    """A truncated cache file is treated as a miss, not an error."""
+    cache = ResultCache(tmp_path / "cache")
+    cell = GridCell(
+        key="x",
+        jobs=small_trace,
+        n_procs=N_PROCS,
+        scheduler_config=EasyBackfillScheduler().config(),
+    )
+    run_grid([cell], cache=cache)
+    (path,) = list((tmp_path / "cache").rglob("*.pkl"))
+    path.write_bytes(b"not a pickle")
+    outcome = run_grid([cell], cache=cache)
+    assert outcome.executed == 1  # re-simulated despite the bad file
+    assert outcome.results["x"].n_procs == N_PROCS

@@ -2,16 +2,13 @@
 
 from __future__ import annotations
 
-import math
-
-import numpy as np
 import pytest
 
 from repro.metrics.aggregate import category_shares
 from repro.workload.archive import CTC, KTH, SDSC, TracePreset, get_preset
 from repro.workload.categories import classify_sixteen_way
 from repro.workload.estimates import InaccurateEstimates
-from repro.workload.synthetic import SyntheticTraceGenerator, generate_trace
+from repro.workload.synthetic import generate_trace
 
 
 def test_deterministic_for_same_seed():

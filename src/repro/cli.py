@@ -11,6 +11,10 @@ Subcommands
     comparison matrices.
 ``experiment``
     Regenerate a paper table/figure group by id (see ``--list``).
+``trace``
+    Decision traces (see ``docs/TRACING.md``): ``record`` a traced run
+    to JSONL, ``summarize`` a trace by independent replay, ``filter``
+    events by type/job, ``gantt`` an ASCII/CSV occupancy timeline.
 
 Examples
 --------
@@ -21,6 +25,10 @@ Examples
     repro-sched compare --trace SDSC --jobs 1500 --metric turnaround
     repro-sched experiment figs-7-10 --trace CTC
     repro-sched experiment --list
+    repro-sched trace record --out run.jsonl --trace CTC --jobs 500 --scheduler ss
+    repro-sched trace summarize run.jsonl
+    repro-sched trace filter run.jsonl --type decision --job 42
+    repro-sched trace gantt run.jsonl --max-jobs 30
 """
 
 from __future__ import annotations
@@ -184,6 +192,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--statistic", choices=("mean", "worst"), default="mean"
     )
     _add_parallel_args(cmp_)
+    cmp_.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="also record one JSONL decision trace per scheme into DIR "
+        "(see docs/TRACING.md); works with --workers",
+    )
 
     exp = sub.add_parser("experiment", help="regenerate a paper table/figure group")
     exp.add_argument("exp_id", nargs="?", help="experiment id (see --list)")
@@ -195,6 +210,55 @@ def build_parser() -> argparse.ArgumentParser:
 
     ins = sub.add_parser("inspect", help="characterise a workload (section III style)")
     _add_trace_args(ins)
+
+    trc = sub.add_parser("trace", help="record / replay decision traces")
+    trc_sub = trc.add_subparsers(dest="trace_cmd", required=True)
+
+    rec = trc_sub.add_parser("record", help="run one traced simulation to JSONL")
+    _add_trace_args(rec)
+    rec.add_argument(
+        "--scheduler",
+        default="ss",
+        help="fcfs | easy/ns | conservative | relaxed | speculative | gang | ss | tss | is",
+    )
+    rec.add_argument("--sf", type=float, default=2.0, help="suspension factor")
+    rec.add_argument("--out", required=True, metavar="FILE", help="JSONL output path")
+
+    summ = trc_sub.add_parser(
+        "summarize", help="independently replay a trace and print its statistics"
+    )
+    summ.add_argument("file", help="JSONL trace file")
+
+    filt = trc_sub.add_parser("filter", help="select events by type and/or job id")
+    filt.add_argument("file", help="JSONL trace file")
+    filt.add_argument(
+        "--type",
+        action="append",
+        default=None,
+        metavar="TYPE",
+        help="keep only these event types (repeatable, comma-splittable)",
+    )
+    filt.add_argument(
+        "--job",
+        action="append",
+        type=int,
+        default=None,
+        metavar="ID",
+        help="keep only events about these job ids (repeatable)",
+    )
+    filt.add_argument("--out", default=None, metavar="FILE", help="write here instead of stdout")
+
+    gnt = trc_sub.add_parser("gantt", help="ASCII Gantt chart / CSV timeline of a trace")
+    gnt.add_argument("file", help="JSONL trace file")
+    gnt.add_argument("--width", type=int, default=72, help="chart columns")
+    gnt.add_argument(
+        "--max-jobs", type=int, default=40, help="rows shown (ascending job id)"
+    )
+    gnt.add_argument(
+        "--csv",
+        action="store_true",
+        help="emit the occupancy-interval CSV instead of the chart",
+    )
     return parser
 
 
@@ -224,6 +288,9 @@ def _dispatch(args: argparse.Namespace) -> int:
         )
         return 0
 
+    if args.command == "trace":
+        return _dispatch_trace(args)
+
     if args.command == "compare":
         jobs, n_procs = _load_jobs(args)
         overhead = DiskSwapOverheadModel() if args.overhead else None
@@ -234,6 +301,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             overhead,
             workers=args.workers,
             cache=_cache_from_args(args),
+            trace_dir=args.trace_dir,
         )
         print(
             scheme_comparison_report(
@@ -279,6 +347,75 @@ def _dispatch(args: argparse.Namespace) -> int:
         else:
             out = fn()
         print(out.report)
+        return 0
+
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _dispatch_trace(args: argparse.Namespace) -> int:
+    """The ``trace`` subcommand family (record / summarize / filter / gantt)."""
+    import json
+
+    from repro.analysis.timeline import ascii_gantt, occupancy_intervals, timeline_csv
+    from repro.obs import JsonlRecorder, format_summary, read_trace, summarize_trace
+
+    if args.trace_cmd == "record":
+        jobs, n_procs = _load_jobs(args)
+        overhead = DiskSwapOverheadModel() if args.overhead else None
+        with JsonlRecorder(args.out) as rec:
+            simulate(jobs, _build_scheduler(args), n_procs, overhead, recorder=rec)
+        # Print the *replayed* summary of the file just written: this is
+        # the same block `trace summarize` prints, so the record/summarize
+        # round-trip check is literal output equality.
+        print(format_summary(summarize_trace(read_trace(args.out))))
+        return 0
+
+    if args.trace_cmd == "summarize":
+        print(format_summary(summarize_trace(read_trace(args.file))))
+        return 0
+
+    if args.trace_cmd == "filter":
+        types: set[str] | None = None
+        if args.type:
+            types = {t.strip() for spec in args.type for t in spec.split(",") if t.strip()}
+        job_ids = set(args.job) if args.job else None
+        out_fh = open(args.out, "w", encoding="utf-8") if args.out else sys.stdout
+        kept = 0
+        try:
+            for ev in read_trace(args.file):
+                if types is not None and ev.get("type") not in types:
+                    continue
+                if job_ids is not None and ev.get("job") not in job_ids:
+                    continue
+                out_fh.write(json.dumps(ev, separators=(",", ":")))
+                out_fh.write("\n")
+                kept += 1
+        finally:
+            if args.out:
+                out_fh.close()
+        if args.out:
+            print(f"{kept} event(s) -> {args.out}")
+        return 0
+
+    if args.trace_cmd == "gantt":
+        events = list(read_trace(args.file))
+        intervals = occupancy_intervals(events)
+        if args.csv:
+            sys.stdout.write(timeline_csv(intervals))
+        else:
+            arrivals = {
+                ev["job"]: float(ev["t"])
+                for ev in events
+                if ev.get("type") == "arrival" and ev.get("job") is not None
+            }
+            print(
+                ascii_gantt(
+                    intervals,
+                    width=args.width,
+                    max_jobs=args.max_jobs,
+                    arrivals=arrivals,
+                )
+            )
         return 0
 
     raise AssertionError("unreachable")  # pragma: no cover

@@ -33,7 +33,11 @@ machine churns timeslices).
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.core.priorities import instantaneous_priority
+from repro.core.selective_suspension import primary_denial_cause
+from repro.obs.events import victim_verdict
 from repro.schedulers.base import Scheduler
 from repro.workload.job import Job
 
@@ -121,12 +125,84 @@ class ImmediateServiceScheduler(Scheduler):
             chosen.append(victim)
             freed += len(victim.allocated_procs)
         if freed < job.procs:
+            self._record_denial(job, limit_priority=None, path="arrival")
             return False
+        self._record_grant(job, chosen, limit_priority=None, path="arrival")
         for victim in chosen:
-            driver.suspend_job(victim)
+            driver.suspend_job(victim, preemptor=job.job_id)
             self._protected_until.pop(victim.job_id, None)
         self._start(job)
         return True
+
+    # ------------------------------------------------------------------
+    # decision records (trace-only; never consulted by the policy)
+    # ------------------------------------------------------------------
+    def _victim_verdicts(self, limit_priority: float | None) -> list[dict[str, Any]]:
+        """Per-running-job verdicts for a decision record.
+
+        ``protected`` -- inside its timeslice protection window;
+        ``priority`` -- instantaneous xfactor not strictly below the
+        waiter's (sweep/re-entry paths only); else ``candidate``.
+        """
+        driver = self.driver
+        assert driver is not None
+        now = driver.now
+        out: list[dict[str, Any]] = []
+        for r in sorted(driver.running_jobs(), key=lambda r: r.job_id):
+            p = instantaneous_priority(r, now)
+            if self._is_protected(r):
+                verdict = "protected"
+            elif limit_priority is not None and p >= limit_priority:
+                verdict = "priority"
+            else:
+                verdict = "candidate"
+            out.append(victim_verdict(r.job_id, p, len(r.allocated_procs), verdict))
+        return out
+
+    def _record_denial(
+        self, job: Job, limit_priority: float | None, path: str
+    ) -> None:
+        tracer = self.tracer
+        if tracer is None:
+            return
+        driver = self.driver
+        assert driver is not None
+        verdicts = self._victim_verdicts(limit_priority)
+        tracer.decision(
+            driver.now,
+            "preempt_denied",
+            job.job_id,
+            cause=primary_denial_cause(verdicts),
+            requested=job.procs,
+            free=driver.cluster.free_count,
+            path=path,
+            timeslice=self.timeslice,
+            victims=verdicts,
+        )
+
+    def _record_grant(
+        self,
+        job: Job,
+        chosen: list[Job],
+        limit_priority: float | None,
+        path: str,
+    ) -> None:
+        tracer = self.tracer
+        if tracer is None:
+            return
+        driver = self.driver
+        assert driver is not None
+        tracer.decision(
+            driver.now,
+            "timeslice_grant",
+            job.job_id,
+            requested=job.procs,
+            free=driver.cluster.free_count,
+            path=path,
+            timeslice=self.timeslice,
+            suspended=[v.job_id for v in chosen],
+            victims=self._victim_verdicts(limit_priority),
+        )
 
     def _cheapest_victims(self, limit_priority: float | None) -> list[Job]:
         """Unprotected running jobs in ascending instantaneous xfactor.
@@ -180,9 +256,11 @@ class ImmediateServiceScheduler(Scheduler):
             chosen.append(victim)
             freed += len(victim.allocated_procs)
         if freed < job.procs:
+            self._record_denial(job, limit_priority=my_priority, path="sweep")
             return False
+        self._record_grant(job, chosen, limit_priority=my_priority, path="sweep")
         for victim in chosen:
-            driver.suspend_job(victim)
+            driver.suspend_job(victim, preemptor=job.job_id)
             self._protected_until.pop(victim.job_id, None)
         self._start(job)
         return True
@@ -195,16 +273,62 @@ class ImmediateServiceScheduler(Scheduler):
             self._start(job)
             return True
         now = driver.now
+        tracer = self.tracer
         my_priority = instantaneous_priority(job, now)
         owner_ids = driver.cluster.owners_overlapping(needed)
         owners = [r for r in driver.running_jobs() if r.job_id in owner_ids]
-        for victim in owners:
-            if self._is_protected(victim):
-                return False
-            if instantaneous_priority(victim, now) >= my_priority:
-                return False
+        # One protected or higher-priority squatter blocks the resume.
+        # When tracing, classify every owner so the decision record is
+        # complete (the checks are pure; scheduling is unchanged).
+        verdicts: list[dict[str, Any]] | None = [] if tracer is not None else None
+        blocking: str | None = None
         for victim in sorted(owners, key=lambda o: o.job_id):
-            driver.suspend_job(victim)
+            p = instantaneous_priority(victim, now)
+            if self._is_protected(victim):
+                cause = "protected"
+            elif p >= my_priority:
+                cause = "priority"
+            else:
+                cause = None
+            if verdicts is not None:
+                verdicts.append(
+                    victim_verdict(
+                        victim.job_id,
+                        p,
+                        len(victim.allocated_procs),
+                        cause or "candidate",
+                    )
+                )
+            if cause is not None:
+                blocking = blocking or cause
+                if verdicts is None:
+                    break  # untraced: first blocker settles it
+        if blocking is not None:
+            if tracer is not None:
+                tracer.decision(
+                    now,
+                    "preempt_denied",
+                    job.job_id,
+                    cause=blocking,
+                    requested=job.procs,
+                    path="reentry",
+                    timeslice=self.timeslice,
+                    victims=verdicts,
+                )
+            return False
+        if tracer is not None:
+            tracer.decision(
+                now,
+                "timeslice_grant",
+                job.job_id,
+                requested=job.procs,
+                path="reentry",
+                timeslice=self.timeslice,
+                suspended=sorted(o.job_id for o in owners),
+                victims=verdicts,
+            )
+        for victim in sorted(owners, key=lambda o: o.job_id):
+            driver.suspend_job(victim, preemptor=job.job_id)
             self._protected_until.pop(victim.job_id, None)
         if driver.cluster.can_allocate_specific(needed):
             self._start(job)

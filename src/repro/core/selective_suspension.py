@@ -32,9 +32,39 @@ overrides.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.core.priorities import PreemptionCriteria, suspension_priority
+from repro.obs.events import victim_verdict
 from repro.schedulers.base import Scheduler
 from repro.workload.job import Job
+
+#: Tie-break order when several rejection causes block one decision.
+_CAUSE_PREFERENCE = {
+    "sf_threshold": 0,
+    "category_limit": 1,
+    "width_rule": 2,
+    "protected": 3,
+    "priority": 4,
+}
+
+
+def primary_denial_cause(verdicts: list[dict[str, Any]] | None) -> str:
+    """The headline ``cause`` of a denied preemption decision.
+
+    The most frequent non-``candidate`` verdict wins (ties broken by a
+    fixed preference order); an empty or all-candidate list means the
+    eligible victims simply did not cover the request --
+    ``"insufficient"``.
+    """
+    counts: dict[str, int] = {}
+    for v in verdicts or ():
+        cause = v["verdict"]
+        if cause != "candidate":
+            counts[cause] = counts.get(cause, 0) + 1
+    if not counts:
+        return "insufficient"
+    return min(counts, key=lambda c: (-counts[c], _CAUSE_PREFERENCE.get(c, 99)))
 
 
 class SelectiveSuspensionScheduler(Scheduler):
@@ -172,9 +202,14 @@ class SelectiveSuspensionScheduler(Scheduler):
             return False
 
         now = driver.now
+        tracer = driver.tracer
         idle_priority = priorities[job.job_id]
+        free = driver.cluster.free_count
         candidates: list[Job] = []
-        covered = driver.cluster.free_count  # free + candidate processors
+        #: per-victim verdicts, built only when tracing is on (decision
+        #: records are the one place per-victim reasoning is preserved)
+        verdicts: list[dict[str, Any]] | None = [] if tracer is not None else None
+        covered = free  # free + candidate processors
         # Victims in ascending priority: cheapest (least entitled) first.
         for victim in sorted(
             driver.running_jobs(),
@@ -182,40 +217,96 @@ class SelectiveSuspensionScheduler(Scheduler):
         ):
             if covered >= job.procs:
                 break
-            if not self.victim_preemptable(victim, now, priorities[victim.job_id]):
+            victim_priority = priorities[victim.job_id]
+            width = len(victim.allocated_procs)
+            if not self.victim_preemptable(victim, now, victim_priority):
+                if verdicts is not None:
+                    verdicts.append(
+                        victim_verdict(
+                            victim.job_id,
+                            victim_priority,
+                            width,
+                            "category_limit",
+                            self.victim_protection_limit(victim),
+                        )
+                    )
                 continue
-            if not self.criteria.priority_allows(
-                idle_priority, priorities[victim.job_id]
-            ):
+            if not self.criteria.priority_allows(idle_priority, victim_priority):
+                if verdicts is not None:
+                    verdicts.append(
+                        victim_verdict(
+                            victim.job_id, victim_priority, width, "sf_threshold"
+                        )
+                    )
                 continue
-            if not self.criteria.width_allows(
-                job.procs, len(victim.allocated_procs), reentry=False
-            ):
+            if not self.criteria.width_allows(job.procs, width, reentry=False):
+                if verdicts is not None:
+                    verdicts.append(
+                        victim_verdict(
+                            victim.job_id, victim_priority, width, "width_rule"
+                        )
+                    )
                 continue
             candidates.append(victim)
+            if verdicts is not None:
+                verdicts.append(
+                    victim_verdict(victim.job_id, victim_priority, width, "candidate")
+                )
             covered += len(victim.allocated_procs)
 
         if covered < job.procs:
+            if tracer is not None:
+                tracer.decision(
+                    now,
+                    "preempt_denied",
+                    job.job_id,
+                    cause=primary_denial_cause(verdicts),
+                    xfactor=idle_priority,
+                    sf=self.criteria.suspension_factor,
+                    requested=job.procs,
+                    free=free,
+                    reentry=False,
+                    victims=verdicts,
+                )
             return False
 
         # Suspend the widest candidates first, stopping once the request
         # is covered (the paper sorts the candidate set in descending
-        # processor count so the fewest jobs are disturbed).
-        freed: set[int] = set()
+        # processor count so the fewest jobs are disturbed).  The chosen
+        # set is fixed *before* any suspension -- free_count only changes
+        # through our own suspends, so precomputing it is equivalent and
+        # lets the decision record precede the suspend events it causes.
+        chosen: list[Job] = []
+        covered_free = free
         for victim in sorted(
             candidates, key=lambda c: (-len(c.allocated_procs), c.job_id)
         ):
-            if driver.cluster.free_count >= job.procs:
+            if covered_free >= job.procs:
                 break
+            chosen.append(victim)
+            covered_free += len(victim.allocated_procs)
+        if tracer is not None:
+            tracer.decision(
+                now,
+                "preempt",
+                job.job_id,
+                xfactor=idle_priority,
+                sf=self.criteria.suspension_factor,
+                requested=job.procs,
+                free=free,
+                reentry=False,
+                suspended=[v.job_id for v in chosen],
+                victims=verdicts,
+            )
+        freed: set[int] = set()
+        for victim in chosen:
             freed |= victim.allocated_procs
-            driver.suspend_job(victim)
-        if driver.cluster.free_count >= job.procs:
-            # run the preemptor on its victims' processors (the
-            # pseudocode's available_processor_set) so each victim's
-            # resume set clears when the preemptor finishes
-            driver.start_job(job, procs=self._place(job, preferred=frozenset(freed)))
-            return True
-        return False  # pragma: no cover - candidate arithmetic guarantees start
+            driver.suspend_job(victim, preemptor=job.job_id)
+        # run the preemptor on its victims' processors (the pseudocode's
+        # available_processor_set) so each victim's resume set clears
+        # when the preemptor finishes
+        driver.start_job(job, procs=self._place(job, preferred=frozenset(freed)))
+        return True
 
     # ------------------------------------------------------------------
     # re-entry of suspended jobs (pseudocode path suspend_jobs_2)
@@ -233,22 +324,78 @@ class SelectiveSuspensionScheduler(Scheduler):
             return False
 
         now = driver.now
+        tracer = driver.tracer
         idle_priority = priorities[job.job_id]
         owner_ids = driver.cluster.owners_overlapping(needed)
-        owners = [r for r in driver.running_jobs() if r.job_id in owner_ids]
+        # sorted for determinism: running_jobs() iterates a set, and
+        # both the verdict-list order and the reported primary blocking
+        # cause must reproduce run to run (traces are byte-identical
+        # for identical inputs -- docs/TRACING.md).
+        owners = sorted(
+            (r for r in driver.running_jobs() if r.job_id in owner_ids),
+            key=lambda r: r.job_id,
+        )
         if len(owners) != len(owner_ids):  # pragma: no cover - defensive
             return False
         # Every squatter must clear the SF threshold (no width rule on
         # re-entry); one protected occupant blocks the whole resume.
+        # When tracing, keep walking past the first blocker so the
+        # decision record carries *every* owner's verdict (the extra
+        # checks are pure -- no scheduling effect).
+        verdicts: list[dict[str, Any]] | None = [] if tracer is not None else None
+        blocking: str | None = None
         for victim in owners:
-            if not self.victim_preemptable(victim, now, priorities[victim.job_id]):
-                return False
-            if not self.criteria.priority_allows(
-                idle_priority, priorities[victim.job_id]
-            ):
-                return False
+            victim_priority = priorities[victim.job_id]
+            if not self.victim_preemptable(victim, now, victim_priority):
+                cause = "category_limit"
+            elif not self.criteria.priority_allows(idle_priority, victim_priority):
+                cause = "sf_threshold"
+            else:
+                cause = None
+            if verdicts is not None:
+                verdicts.append(
+                    victim_verdict(
+                        victim.job_id,
+                        victim_priority,
+                        len(victim.allocated_procs),
+                        cause or "candidate",
+                        self.victim_protection_limit(victim)
+                        if cause == "category_limit"
+                        else None,
+                    )
+                )
+            if cause is not None:
+                blocking = blocking or cause
+                if verdicts is None:
+                    break  # untraced: first blocker settles it
+        if blocking is not None:
+            if tracer is not None:
+                tracer.decision(
+                    now,
+                    "preempt_denied",
+                    job.job_id,
+                    cause=blocking,
+                    xfactor=idle_priority,
+                    sf=self.criteria.suspension_factor,
+                    requested=job.procs,
+                    reentry=True,
+                    victims=verdicts,
+                )
+            return False
+        if tracer is not None:
+            tracer.decision(
+                now,
+                "preempt",
+                job.job_id,
+                xfactor=idle_priority,
+                sf=self.criteria.suspension_factor,
+                requested=job.procs,
+                reentry=True,
+                suspended=sorted(o.job_id for o in owners),
+                victims=verdicts,
+            )
         for victim in sorted(owners, key=lambda o: o.job_id):
-            driver.suspend_job(victim)
+            driver.suspend_job(victim, preemptor=job.job_id)
         if driver.cluster.can_allocate_specific(needed):
             driver.start_job(job)
             return True
@@ -267,6 +414,16 @@ class SelectiveSuspensionScheduler(Scheduler):
         sweep-precomputed xfactor so overrides need not recompute it.
         """
         return True
+
+    def victim_protection_limit(self, victim: Job) -> float | None:
+        """The xfactor ceiling protecting *victim*, for decision records.
+
+        ``None`` for plain SS (no protection exists); TSS returns the
+        victim's category limit so ``category_limit`` verdicts carry the
+        threshold that was hit.  Trace-only -- never consulted on the
+        scheduling path.
+        """
+        return None
 
     def describe(self) -> str:
         return (

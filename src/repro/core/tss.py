@@ -174,6 +174,11 @@ class TunableSelectiveSuspensionScheduler(SelectiveSuspensionScheduler):
             priority = victim.xfactor(now)
         return priority <= self.limits.limit_for(victim)
 
+    def victim_protection_limit(self, victim: Job) -> float | None:
+        """The victim's category limit, attached to decision records."""
+        limit = self.limits.limit_for(victim)
+        return None if limit == float("inf") else limit
+
     def on_finish(self, job: Job) -> None:
         self.limits.observe(job)
         super().on_finish(job)

@@ -27,8 +27,10 @@ serial path by ``tests/test_parallel.py``.
 from __future__ import annotations
 
 import os
+import re
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Mapping, Sequence
 
 from repro.experiments.cache import ResultCache, cell_fingerprint, fingerprint_jobs
@@ -57,6 +59,14 @@ class GridCell:
     scheduler_config: Mapping[str, object]
     overhead_model: SuspensionOverheadModel | None = None
     migratable: bool = False
+    #: optional JSONL decision-trace destination (see docs/TRACING.md).
+    #: A path -- not a recorder -- so the cell stays picklable; the
+    #: worker process opens its own :class:`~repro.obs.recorder.JsonlRecorder`
+    #: and streams events as the cell simulates.  Traced cells bypass
+    #: the result cache entirely (both read and write): a trace is the
+    #: record of an *actual* run, and cache-served results would leave
+    #: the file unwritten.
+    trace_path: str | None = None
 
     def fingerprint(self, jobs_fp: str | None = None) -> str:
         """Content address for the cache; *jobs_fp* skips re-hashing."""
@@ -82,6 +92,9 @@ class GridOutcome:
     results: dict[str, SimulationResult] = field(default_factory=dict)
     executed: int = 0
     cache_hits: int = 0
+    #: cell key -> written JSONL trace file, for cells with a
+    #: ``trace_path`` (empty when nothing was traced)
+    trace_paths: dict[str, str] = field(default_factory=dict)
 
 
 def resolve_workers(workers: int | None) -> int:
@@ -98,8 +111,25 @@ def resolve_workers(workers: int | None) -> int:
 
 
 def _simulate_cell(cell: GridCell) -> SimulationResult:
-    """Run one cell; module-level so worker processes can unpickle it."""
+    """Run one cell; module-level so worker processes can unpickle it.
+
+    When the cell carries a ``trace_path`` the recorder is constructed
+    *here*, inside the (possibly worker) process, so events stream
+    straight to the per-cell file without crossing process boundaries.
+    """
     scheduler = scheduler_from_config(cell.scheduler_config)
+    if cell.trace_path is not None:
+        from repro.obs.recorder import JsonlRecorder
+
+        with JsonlRecorder(cell.trace_path) as recorder:
+            return simulate(
+                list(cell.jobs),
+                scheduler,
+                cell.n_procs,
+                cell.overhead_model,
+                migratable=cell.migratable,
+                recorder=recorder,
+            )
     return simulate(
         list(cell.jobs),
         scheduler,
@@ -142,12 +172,17 @@ def run_grid(
     outcome = GridOutcome()
 
     # cache probe -- fingerprint each cell, memoising the workload hash
-    # by identity (grids typically reuse one jobs list across schemes)
+    # by identity (grids typically reuse one jobs list across schemes).
+    # Traced cells never consult the cache: the trace is the record of
+    # an actual run (see GridCell.trace_path).
     pending: list[int] = []
     fingerprints: list[str | None] = [None] * len(cells)
     if cache is not None:
         jobs_fp_memo: dict[int, str] = {}
         for i, cell in enumerate(cells):
+            if cell.trace_path is not None:
+                pending.append(i)
+                continue
             memo_key = id(cell.jobs)
             if memo_key not in jobs_fp_memo:
                 jobs_fp_memo[memo_key] = fingerprint_jobs(cell.jobs)
@@ -177,6 +212,8 @@ def run_grid(
         outcome.executed = len(pending)
         if cache is not None:
             for i in pending:
+                if cells[i].trace_path is not None:
+                    continue  # traced runs are never cached (see above)
                 fp = fingerprints[i]
                 result = slots[i]
                 assert fp is not None and result is not None
@@ -185,7 +222,22 @@ def run_grid(
     for cell, result in zip(cells, slots):
         assert result is not None
         outcome.results[cell.key] = result
+        if cell.trace_path is not None:
+            outcome.trace_paths[cell.key] = cell.trace_path
     return outcome
+
+
+def trace_file_for_key(trace_dir: str | Path, key: str) -> str:
+    """Per-cell JSONL path under *trace_dir*, with a filesystem-safe name.
+
+    Cell keys are free-form labels (``"SF = 1.5"``, ``"(SS, load 1.2)"``);
+    every run of characters outside ``[A-Za-z0-9._-]`` collapses to one
+    underscore.  Distinct keys that sanitise identically would collide,
+    so callers with adversarial key sets should pick their own paths via
+    :attr:`GridCell.trace_path`.
+    """
+    safe = re.sub(r"[^A-Za-z0-9._-]+", "_", key).strip("_") or "cell"
+    return str(Path(trace_dir) / f"{safe}.jsonl")
 
 
 def compare_schemes_parallel(
@@ -196,6 +248,7 @@ def compare_schemes_parallel(
     *,
     workers: int | None = None,
     cache: ResultCache | None = None,
+    trace_dir: str | Path | None = None,
 ) -> dict[str, SimulationResult]:
     """Parallel, cache-aware drop-in for :func:`compare_schemes`.
 
@@ -207,6 +260,13 @@ def compare_schemes_parallel(
 
     Output is keyed by scheme label in scheme order, byte-identical to
     ``compare_schemes(jobs, n_procs, schemes, overhead_model)``.
+
+    With *trace_dir*, every scheme cell additionally streams its JSONL
+    decision trace to ``trace_dir/<sanitised-label>.jsonl`` (written by
+    the worker that simulates the cell -- see
+    :func:`trace_file_for_key`).  Tracing never changes schedules, so
+    the returned results are identical either way; traced cells do
+    bypass the result cache (a cache hit would leave no trace file).
     """
     baseline: SimulationResult | None = None
     if any(s.needs_baseline for s in schemes):
@@ -235,6 +295,11 @@ def compare_schemes_parallel(
                 n_procs=n_procs,
                 scheduler_config=scheduler.config(),
                 overhead_model=overhead_model,
+                trace_path=(
+                    trace_file_for_key(trace_dir, spec.label)
+                    if trace_dir is not None
+                    else None
+                ),
             )
         )
     return run_grid(cells, workers=workers, cache=cache).results

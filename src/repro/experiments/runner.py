@@ -10,7 +10,7 @@ trace, reusing a calibration run where TSS needs one.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.cluster.machine import Cluster
 from repro.core.immediate_service import ImmediateServiceScheduler
@@ -27,6 +27,9 @@ from repro.sim.driver import (
     SuspensionOverheadModel,
 )
 from repro.workload.job import Job, fresh_copies
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.recorder import TraceRecorder
 
 __all__ = [
     "SchemeSpec",
@@ -45,6 +48,7 @@ def simulate(
     overhead_model: SuspensionOverheadModel | None = None,
     copy_jobs: bool = True,
     migratable: bool = False,
+    recorder: "TraceRecorder | None" = None,
 ) -> SimulationResult:
     """Run *scheduler* over *jobs* on an ``n_procs`` machine.
 
@@ -67,6 +71,13 @@ def simulate(
         Allow suspended jobs to restart on any processors (Parsons &
         Sevcik's migratable model; off in every paper experiment --
         local restart is the paper's defining constraint).
+    recorder:
+        Optional :class:`~repro.obs.recorder.TraceRecorder` receiving
+        the run's decision-trace event stream (see ``docs/TRACING.md``).
+        ``None`` (the default) keeps the run untraced at zero cost.
+        The caller owns the recorder's lifecycle -- close a
+        :class:`~repro.obs.recorder.JsonlRecorder` after the run (or
+        use it as a context manager).
     """
     too_wide = [j.job_id for j in jobs if j.procs > n_procs]
     if too_wide:
@@ -80,6 +91,7 @@ def simulate(
         scheduler=scheduler,
         overhead_model=overhead_model,
         migratable=migratable,
+        recorder=recorder,
     )
     return driver.run(work)
 

@@ -1,0 +1,255 @@
+"""Independent trace replay: rebuild run statistics from events alone.
+
+:func:`summarize_trace` reads an event stream (dicts from
+:func:`~repro.obs.recorder.read_trace` or
+:meth:`~repro.obs.recorder.InMemoryRecorder.dicts`) and reconstructs,
+using **only** the events:
+
+* per-job suspension counts, occupancy (busy-area contribution) and
+  bounded slowdown;
+* the run's busy-processor integral, makespan, utilisation, mean
+  bounded slowdown and total suspensions.
+
+It shares no code with the driver's own accounting, so it serves as a
+second independent witness next to :mod:`repro.sim.audit`: if the
+driver's counters and the replayed trace agree, either both are right
+or the same bug corrupted two disjoint bookkeeping paths.  The
+consistency tests (``tests/test_obs.py``) assert exactly this
+agreement for SS, TSS, IS and NS runs, and the ``run_end`` trailer the
+driver writes is cross-checked field by field
+(:attr:`TraceSummary.matches_run_end`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+#: Eq. 1's bounded-slowdown threshold, restated here on purpose: the
+#: replay must not import the metrics package it is meant to witness.
+_SLOWDOWN_THRESHOLD = 10.0
+
+#: Event types that put a job onto processors / take it off them.
+_DISPATCH_TYPES = ("start", "backfill_start", "resume")
+_RELEASE_TYPES = ("suspend", "kill", "finish")
+
+
+@dataclass
+class JobTraceStats:
+    """Everything the replay knows about one job."""
+
+    job_id: int
+    submit: float = 0.0
+    run_time: float = 0.0
+    estimate: float = 0.0
+    procs: int = 0
+    finish: float | None = None
+    suspensions: int = 0
+    kills: int = 0
+    dispatches: int = 0
+    #: processor-seconds of occupancy reconstructed from this job's
+    #: dispatch/release intervals (includes overhead and wasted time)
+    busy: float = 0.0
+
+    @property
+    def turnaround(self) -> float | None:
+        return None if self.finish is None else self.finish - self.submit
+
+    @property
+    def slowdown(self) -> float | None:
+        """Bounded slowdown (eq. 1) recomputed from trace timestamps."""
+        ta = self.turnaround
+        if ta is None:
+            return None
+        return max(ta / max(self.run_time, _SLOWDOWN_THRESHOLD), 1.0)
+
+
+@dataclass
+class TraceSummary:
+    """The replayed run, plus the cross-check against ``run_end``."""
+
+    schema: int = 0
+    scheduler: str = "?"
+    n_procs: int = 0
+    n_jobs: int = 0
+    events: int = 0
+    finished: int = 0
+    suspensions: int = 0
+    kills: int = 0
+    backfill_fills: int = 0
+    decisions: int = 0
+    preempt_grants: int = 0
+    preempt_denials: dict[str, int] = field(default_factory=dict)
+    makespan: float = 0.0
+    busy_proc_seconds: float = 0.0
+    per_job: dict[int, JobTraceStats] = field(default_factory=dict)
+    #: the raw ``run_end`` trailer, if the trace has one
+    run_end: dict[str, Any] | None = None
+
+    @property
+    def utilization(self) -> float:
+        """busy / (P x makespan), replayed -- driver-free."""
+        if self.n_procs <= 0 or self.makespan <= 0:
+            return 0.0
+        return self.busy_proc_seconds / (self.n_procs * self.makespan)
+
+    @property
+    def mean_slowdown(self) -> float:
+        """Mean bounded slowdown over finished jobs, in finish order."""
+        values = [
+            s.slowdown
+            for s in sorted(self.per_job.values(), key=lambda s: (s.finish or 0.0))
+            if s.slowdown is not None
+        ]
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    @property
+    def matches_run_end(self) -> bool | None:
+        """Replay vs the driver's ``run_end`` claims (None: no trailer).
+
+        True when suspension count, kill count, finished-job count,
+        makespan and the busy integral all agree (floats to a 1e-6
+        relative tolerance) -- the "second witness" verdict.
+        """
+        trailer = self.run_end
+        if trailer is None:
+            return None
+
+        def close(a: float, b: float) -> bool:
+            return abs(a - b) <= max(1e-6, 1e-9 * max(abs(a), abs(b)))
+
+        return (
+            self.suspensions == trailer.get("total_suspensions")
+            and self.kills == trailer.get("total_kills")
+            and self.finished == trailer.get("finished")
+            and close(self.makespan, float(trailer.get("makespan", 0.0)))
+            and close(
+                self.busy_proc_seconds,
+                float(trailer.get("busy_proc_seconds", 0.0)),
+            )
+        )
+
+
+def summarize_trace(events: Iterable[Mapping[str, Any]]) -> TraceSummary:
+    """Replay *events* into a :class:`TraceSummary`.
+
+    Raises ``ValueError`` on structurally broken streams (a release for
+    a job that is not running, an unknown schema) -- a trace that does
+    not replay is evidence of a bug, not something to paper over.
+    """
+    s = TraceSummary()
+    active: dict[int, tuple[float, int]] = {}  # job -> (dispatch t, width)
+
+    for ev in events:
+        s.events += 1
+        etype = ev.get("type")
+        t = float(ev.get("t", 0.0))
+        jid = ev.get("job")
+
+        if etype == "run_begin":
+            schema = int(ev.get("schema", 0))
+            if schema > 1:
+                raise ValueError(f"trace schema {schema} is newer than this reader")
+            s.schema = schema
+            s.scheduler = str(ev.get("scheduler", "?"))
+            s.n_procs = int(ev.get("n_procs", 0))
+            s.n_jobs = int(ev.get("n_jobs", 0))
+        elif etype == "arrival":
+            assert jid is not None
+            s.per_job[jid] = JobTraceStats(
+                job_id=jid,
+                submit=t,
+                run_time=float(ev.get("run_time", 0.0)),
+                estimate=float(ev.get("estimate", 0.0)),
+                procs=int(ev.get("procs", 0)),
+            )
+        elif etype in _DISPATCH_TYPES:
+            assert jid is not None
+            if jid in active:
+                raise ValueError(f"job {jid} dispatched twice without release (t={t})")
+            active[jid] = (t, int(ev.get("width", 0)))
+            job = s.per_job.get(jid)
+            if job is not None:
+                job.dispatches += 1
+            if etype == "backfill_start":
+                s.backfill_fills += 1
+        elif etype in _RELEASE_TYPES:
+            assert jid is not None
+            if jid not in active:
+                raise ValueError(f"{etype} for job {jid} which is not running (t={t})")
+            t0, width = active.pop(jid)
+            area = width * (t - t0)
+            s.busy_proc_seconds += area
+            job = s.per_job.get(jid)
+            if job is not None:
+                job.busy += area
+            if etype == "suspend":
+                s.suspensions += 1
+                if job is not None:
+                    job.suspensions += 1
+            elif etype == "kill":
+                s.kills += 1
+                if job is not None:
+                    job.kills += 1
+            else:  # finish
+                s.finished += 1
+                s.makespan = max(s.makespan, t)
+                if job is not None:
+                    job.finish = t
+        elif etype == "decision":
+            s.decisions += 1
+            action = ev.get("action")
+            if action in ("preempt", "timeslice_grant"):
+                s.preempt_grants += 1
+            elif action == "preempt_denied":
+                cause = str(ev.get("cause", "insufficient"))
+                s.preempt_denials[cause] = s.preempt_denials.get(cause, 0) + 1
+        elif etype == "run_end":
+            s.run_end = {k: v for k, v in ev.items() if k not in ("t", "type", "job")}
+
+    if active:
+        raise ValueError(
+            f"trace ended with {len(active)} job(s) still on processors: "
+            f"{sorted(active)[:10]}"
+        )
+    return s
+
+
+def format_summary(s: TraceSummary) -> str:
+    """Human-readable rendering shared by ``repro-sched trace``.
+
+    ``trace record`` and ``trace summarize`` both print this block, so
+    byte-equality of their output *is* the round-trip check.
+    """
+    lines = [
+        f"trace summary: {s.scheduler} on {s.n_procs} processors",
+        f"  events             {s.events}",
+        f"  jobs               {s.finished} finished / {s.n_jobs} submitted",
+        f"  suspensions        {s.suspensions}",
+        f"  kills              {s.kills}",
+        f"  backfill fills     {s.backfill_fills}",
+        f"  decisions          {s.decisions} "
+        f"({s.preempt_grants} preemptions granted)",
+    ]
+    if s.preempt_denials:
+        causes = ", ".join(
+            f"{cause}={n}" for cause, n in sorted(s.preempt_denials.items())
+        )
+        lines.append(f"  denials by cause   {causes}")
+    lines += [
+        f"  makespan           {s.makespan:.6f} s",
+        f"  busy integral      {s.busy_proc_seconds:.6f} proc-s",
+        f"  utilization        {s.utilization:.9f}",
+        f"  mean slowdown      {s.mean_slowdown:.9f}",
+    ]
+    verdict = s.matches_run_end
+    if verdict is None:
+        lines.append("  run_end check      (no trailer in trace)")
+    else:
+        lines.append(
+            "  run_end check      "
+            + ("consistent with driver totals" if verdict else "MISMATCH vs driver totals")
+        )
+    return "\n".join(lines)

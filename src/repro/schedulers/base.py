@@ -30,6 +30,7 @@ from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.events import Tracer
     from repro.sim.driver import SchedulingSimulation
     from repro.workload.job import Job
 
@@ -94,6 +95,18 @@ class Scheduler(ABC):
         """Current simulation time (valid inside hooks)."""
         assert self.driver is not None
         return self.driver.now
+
+    @property
+    def tracer(self) -> "Tracer | None":
+        """The run's trace emitter, or ``None`` when tracing is off.
+
+        Emission sites in concrete schedulers guard with a single
+        ``if self.tracer is not None`` check -- build no event payloads,
+        format no strings, outside that branch (the zero-overhead
+        contract, see :mod:`repro.obs`).
+        """
+        assert self.driver is not None
+        return self.driver.tracer
 
     def describe(self) -> str:
         """One-line description for report headers."""

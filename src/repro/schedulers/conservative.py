@@ -50,11 +50,21 @@ class ConservativeBackfillScheduler(Scheduler):
         if anchor <= driver.now and driver.can_start(job):
             del self._anchors[job.job_id]
             driver.start_job(job)
+        elif self.tracer is not None:
+            self.tracer.decision(
+                driver.now,
+                "reservation",
+                job.job_id,
+                anchor=anchor,
+                requested=job.procs,
+                duration=job.remaining_estimate(),
+            )
 
     def on_finish(self, job: Job) -> None:
         """Compress: re-anchor every queued job in guarantee order."""
         driver = self.driver
         assert driver is not None
+        old_anchors = dict(self._anchors) if self.tracer is not None else {}
         queue = sorted(
             driver.queued_jobs(),
             key=lambda j: (self._anchors.get(j.job_id, float("inf")), j.job_id),
@@ -73,6 +83,21 @@ class ConservativeBackfillScheduler(Scheduler):
             else:
                 self._anchors[queued.job_id] = anchor
                 profile.claim(anchor, duration, queued.procs)
+                # compression moved the guarantee: record the new anchor
+                # (unchanged reservations are not re-emitted)
+                if (
+                    self.tracer is not None
+                    and old_anchors.get(queued.job_id) != anchor
+                ):
+                    self.tracer.decision(
+                        driver.now,
+                        "reservation",
+                        queued.job_id,
+                        anchor=anchor,
+                        requested=queued.procs,
+                        duration=duration,
+                        compressed_from=old_anchors.get(queued.job_id),
+                    )
 
     # ------------------------------------------------------------------
     # planning

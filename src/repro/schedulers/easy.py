@@ -64,6 +64,15 @@ class EasyBackfillScheduler(Scheduler):
             profile.claim_running(len(running.allocated_procs), running.expected_end)
         head_anchor = profile.find_anchor(head.remaining_estimate(), head.procs)
         profile.claim(head_anchor, head.remaining_estimate(), head.procs)
+        if self.tracer is not None:
+            self.tracer.decision(
+                driver.now,
+                "reservation",
+                head.job_id,
+                anchor=head_anchor,
+                requested=head.procs,
+                duration=head.remaining_estimate(),
+            )
 
         # Phase 3: backfill later jobs that start now without touching
         # the head's reservation.  Each start updates both the real
@@ -73,5 +82,5 @@ class EasyBackfillScheduler(Scheduler):
                 continue
             duration = job.remaining_estimate()
             if profile.fits(driver.now, duration, job.procs):
-                driver.start_job(job)
+                driver.start_job(job, via="backfill")
                 profile.claim(driver.now, duration, job.procs)

@@ -100,6 +100,15 @@ class SpeculativeBackfillScheduler(Scheduler):
             profile.claim_running(len(running.allocated_procs), running.expected_end)
         head_anchor = profile.find_anchor(head.remaining_estimate(), head.procs)
         profile.claim(head_anchor, head.remaining_estimate(), head.procs)
+        if self.tracer is not None:
+            self.tracer.decision(
+                driver.now,
+                "reservation",
+                head.job_id,
+                anchor=head_anchor,
+                requested=head.procs,
+                duration=head.remaining_estimate(),
+            )
 
         # Phase 3: conventional backfill, then speculation.
         for job in queue[1:]:
@@ -107,7 +116,7 @@ class SpeculativeBackfillScheduler(Scheduler):
                 continue
             duration = job.remaining_estimate()
             if profile.fits(driver.now, duration, job.procs):
-                driver.start_job(job)
+                driver.start_job(job, via="backfill")
                 profile.claim(driver.now, duration, job.procs)
                 continue
             self._try_speculate(job, profile)
@@ -137,6 +146,17 @@ class SpeculativeBackfillScheduler(Scheduler):
         if hole < self.speculation_window:
             return False  # too short for a meaningful test run
         deadline = driver.now + self.speculation_window
+        if self.tracer is not None:
+            self.tracer.decision(
+                driver.now,
+                "speculate",
+                job.job_id,
+                deadline=deadline,
+                window=self.speculation_window,
+                hole=hole if hole != float("inf") else None,
+                requested=job.procs,
+                kills_so_far=job.kill_count,
+            )
         driver.start_speculative(job, deadline=deadline)
         profile.claim(driver.now, self.speculation_window, job.procs)
         return True

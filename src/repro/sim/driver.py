@@ -45,11 +45,14 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Protocol
 
 from repro.cluster.machine import Cluster
+from repro.obs.events import Tracer
 from repro.sim.engine import EventLoop, SimulationError
 from repro.sim.events import Event, EventKind
 from repro.workload.job import Job, JobState
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.counters import TraceCounters
+    from repro.obs.recorder import TraceRecorder
     from repro.schedulers.base import Scheduler
 
 
@@ -101,6 +104,10 @@ class SimulationResult:
     #: from "window closed at t = 0" (a burst trace), which
     #: ``last_arrival == 0`` alone cannot.
     arrival_window_closed: bool = False
+    #: trace counters maintained by the :class:`~repro.obs.events.Tracer`
+    #: during the run; ``None`` for untraced runs.  See
+    #: :mod:`repro.obs.counters` and ``docs/TRACING.md``.
+    counters: "TraceCounters | None" = None
 
     @property
     def utilization(self) -> float:
@@ -154,6 +161,17 @@ class SchedulingSimulation:
     overhead_model:
         Optional suspension-overhead pricing; ``None`` means free
         suspension (the paper's sections III-IV assumption).
+    recorder:
+        Optional :class:`~repro.obs.recorder.TraceRecorder` receiving
+        the run's event stream.  ``None`` (or a recorder whose
+        ``enabled`` flag is false, e.g. the shared
+        :data:`~repro.obs.recorder.NULL_RECORDER`) disables tracing
+        entirely: :attr:`tracer` stays ``None`` and every emission site
+        reduces to a single ``is not None`` check -- the
+        zero-overhead-when-off contract pinned by
+        ``benchmarks/bench_micro.py``.  Tracing never changes the
+        schedule; traced and untraced runs are event-for-event
+        identical.
     """
 
     def __init__(
@@ -163,6 +181,7 @@ class SchedulingSimulation:
         overhead_model: SuspensionOverheadModel | None = None,
         migratable: bool = False,
         probe: "StateProbeLike | None" = None,
+        recorder: "TraceRecorder | None" = None,
     ) -> None:
         if cluster.busy_count:
             raise ValueError("cluster must start empty")
@@ -171,6 +190,14 @@ class SchedulingSimulation:
         self.overhead_model = overhead_model
         #: optional time-series probe (see repro.metrics.timeseries)
         self.probe = probe
+        #: the recorder handed in at construction (``None`` if untraced)
+        self.recorder = recorder
+        #: emission facade; ``None`` unless a recorder with
+        #: ``enabled=True`` was supplied (the single guard every
+        #: emission site checks)
+        self.tracer: Tracer | None = (
+            Tracer(recorder) if recorder is not None and recorder.enabled else None
+        )
         #: Parsons & Sevcik's *migratable* model: a suspended job may
         #: restart on any processors.  The paper's machines do not
         #: support migration (local restart is the defining constraint);
@@ -231,7 +258,12 @@ class SchedulingSimulation:
             return self.cluster.can_allocate_specific(job.suspended_procs)
         return self.cluster.can_allocate(job.procs)
 
-    def start_job(self, job: Job, procs: frozenset[int] | None = None) -> frozenset[int]:
+    def start_job(
+        self,
+        job: Job,
+        procs: frozenset[int] | None = None,
+        via: str | None = None,
+    ) -> frozenset[int]:
         """(Re)start a queued job immediately; returns its processors.
 
         Resumed jobs receive exactly their original processor set (local
@@ -241,9 +273,14 @@ class SchedulingSimulation:
         otherwise the cluster's allocation policy chooses.  Raises on any
         precondition violation -- a scheduler asking to start an
         unstartable job is a policy bug worth crashing on.
+
+        *via* is a trace-only annotation of the dispatch path
+        (``"backfill"``, ``"speculative"``, ``None`` for a plain start);
+        it has no scheduling effect and is ignored when tracing is off.
         """
         if job.job_id not in self._queued:
             raise SimulationError(f"start_job: job {job.job_id} is not queued")
+        resumed = job.needs_specific_procs or (self.migratable and job.was_suspended)
         self._account_busy()  # close the interval at the old busy level
         if job.needs_specific_procs:
             if procs is not None and frozenset(procs) != job.suspended_procs:
@@ -271,13 +308,19 @@ class SchedulingSimulation:
         self._finish_events[job.job_id] = ev
         del self._queued[job.job_id]
         self._running.add(job)
+        if self.tracer is not None:
+            self.tracer.dispatch(self.now, job, procs, resumed, via)
         return procs
 
-    def suspend_job(self, job: Job) -> None:
+    def suspend_job(self, job: Job, preemptor: int | None = None) -> None:
         """Suspend a running job; it re-enters the queue tail.
 
         Charges the overhead model's suspend+resume cost as pending
         overhead (paid at the next dispatch, before useful progress).
+
+        *preemptor* is a trace-only annotation: the id of the idle job
+        on whose behalf this victim is being suspended (``None`` when
+        unknown).  It has no scheduling effect.
         """
         if job not in self._running:
             raise SimulationError(f"suspend_job: job {job.job_id} is not running")
@@ -289,20 +332,25 @@ class SchedulingSimulation:
         job.total_overhead += paid
         job.pending_overhead -= paid
         job.remaining_useful = max(job.remaining_useful - useful, 0.0)
+        overhead_added = 0.0
         if self.overhead_model is not None:
-            job.pending_overhead += self.overhead_model.suspend_resume_cost(job)
+            overhead_added = self.overhead_model.suspend_resume_cost(job)
+            job.pending_overhead += overhead_added
 
         ev = self._finish_events.pop(job.job_id, None)
         if ev is not None:
             self.loop.cancel(ev)
         self._account_busy()
-        self.cluster.release(job.allocated_procs, job.job_id)
+        released = job.allocated_procs
+        self.cluster.release(released, job.job_id)
         job.mark_suspended(self.now)
         if self.migratable:
             job.suspended_procs = frozenset()  # may restart anywhere
         self._running.remove(job)
         self._queued[job.job_id] = job
         self.total_suspensions += 1
+        if self.tracer is not None:
+            self.tracer.suspend(self.now, job, released, preemptor, overhead_added)
 
     def start_speculative(
         self, job: Job, deadline: float, procs: frozenset[int] | None = None
@@ -323,7 +371,7 @@ class SchedulingSimulation:
             )
         if deadline <= self.now:
             raise SimulationError("start_speculative: deadline not in the future")
-        got = self.start_job(job, procs=procs)
+        got = self.start_job(job, procs=procs, via="speculative")
         self.loop.at(deadline, EventKind.JOB_KILL, job, epoch=job.epoch)
         return got
 
@@ -338,11 +386,15 @@ class SchedulingSimulation:
         if ev is not None:
             self.loop.cancel(ev)
         self._account_busy()
-        self.cluster.release(job.allocated_procs, job.job_id)
+        released = job.allocated_procs
+        wasted = max(self.now - job.last_dispatch_time, 0.0)
+        self.cluster.release(released, job.job_id)
         job.mark_killed(self.now)
         self._running.remove(job)
         self._queued[job.job_id] = job
         self.total_kills += 1
+        if self.tracer is not None:
+            self.tracer.kill(self.now, job, released, wasted)
         self.scheduler.on_kill(job)
         self._after_event()
 
@@ -358,6 +410,8 @@ class SchedulingSimulation:
             self._window_closed = True
         job.mark_submitted(self.now)
         self._queued[job.job_id] = job
+        if self.tracer is not None:
+            self.tracer.arrival(self.now, job)
         self.scheduler.on_arrival(job)
         self._after_event()
 
@@ -374,6 +428,8 @@ class SchedulingSimulation:
         job.mark_finished(self.now)
         self._running.remove(job)
         self._finished.append(job)
+        if self.tracer is not None:
+            self.tracer.finish(self.now, job)
         self.scheduler.on_finish(job)
         self._after_event()
 
@@ -419,6 +475,14 @@ class SchedulingSimulation:
                     "(use repro.workload.job.fresh_copies)"
                 )
         self.scheduler.bind(self)
+        if self.tracer is not None:
+            self.tracer.run_begin(
+                self.now,
+                self.scheduler.name,
+                self.scheduler.config(),
+                self.cluster.n_procs,
+                len(jobs),
+            )
         self.scheduler.on_begin()
         self._arrivals_pending = len(jobs)
         for job in jobs:
@@ -441,6 +505,16 @@ class SchedulingSimulation:
                 f"{self.scheduler.name!r} starved or deadlocked them"
             )
         makespan = max((j.finish_time or 0.0) for j in self._finished) if self._finished else 0.0
+        if self.tracer is not None:
+            self.tracer.run_end(
+                self.now,
+                finished=len(self._finished),
+                total_suspensions=self.total_suspensions,
+                total_kills=self.total_kills,
+                busy_proc_seconds=self._busy_seconds,
+                makespan=makespan,
+                events_dispatched=self.loop.dispatched,
+            )
         return SimulationResult(
             jobs=list(self._finished),
             n_procs=self.cluster.n_procs,
@@ -453,4 +527,5 @@ class SchedulingSimulation:
             last_arrival=self._window_end,
             busy_in_arrival_window=self._window_busy,
             arrival_window_closed=self._window_closed,
+            counters=self.tracer.counters if self.tracer is not None else None,
         )

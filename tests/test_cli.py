@@ -108,3 +108,100 @@ def test_run_all_scheduler_names(name, capsys):
     rc = main(["run", "--trace", "SDSC", "--jobs", "80", "--scheduler", name])
     assert rc == 0
     assert "mean slowdown by category" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# `trace` subcommands (docs/TRACING.md)
+# ----------------------------------------------------------------------
+def _record_small_trace(tmp_path, capsys, scheduler="ss"):
+    out = tmp_path / f"{scheduler}.jsonl"
+    rc = main(
+        [
+            "trace",
+            "record",
+            "--trace",
+            "SDSC",
+            "--jobs",
+            "120",
+            "--seed",
+            "9",
+            "--load",
+            "1.2",
+            "--scheduler",
+            scheduler,
+            "--out",
+            str(out),
+        ]
+    )
+    assert rc == 0
+    return out, capsys.readouterr().out
+
+
+def test_trace_record_then_summarize_round_trip(tmp_path, capsys):
+    """`record` prints the replayed summary; `summarize` must print the
+
+    byte-identical block -- output equality IS the round-trip check."""
+    out, recorded = _record_small_trace(tmp_path, capsys)
+    assert out.exists() and out.stat().st_size > 0
+    assert "run_end check      consistent with driver totals" in recorded
+    rc = main(["trace", "summarize", str(out)])
+    assert rc == 0
+    assert capsys.readouterr().out == recorded
+
+
+def test_trace_filter_by_type_and_job(tmp_path, capsys):
+    import json
+
+    out, _ = _record_small_trace(tmp_path, capsys)
+    rc = main(["trace", "filter", str(out), "--type", "decision"])
+    assert rc == 0
+    lines = capsys.readouterr().out.splitlines()
+    assert lines
+    events = [json.loads(line) for line in lines]
+    assert all(e["type"] == "decision" for e in events)
+    jid = events[0]["job"]
+    rc = main(["trace", "filter", str(out), "--job", str(jid)])
+    assert rc == 0
+    per_job = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+    assert per_job and all(e["job"] == jid for e in per_job)
+
+
+def test_trace_gantt_ascii_and_csv(tmp_path, capsys):
+    out, _ = _record_small_trace(tmp_path, capsys)
+    rc = main(["trace", "gantt", str(out), "--width", "40"])
+    assert rc == 0
+    chart = capsys.readouterr().out
+    assert "legend:" in chart and "columns" in chart
+    rc = main(["trace", "gantt", str(out), "--csv"])
+    assert rc == 0
+    csv_text = capsys.readouterr().out
+    assert csv_text.startswith("job,start,end,duration,width,area,end_type,via,resumed")
+
+
+def test_trace_record_all_scheduler_names(tmp_path, capsys):
+    for name in ("easy", "tss", "is", "speculative"):
+        out, recorded = _record_small_trace(tmp_path, capsys, scheduler=name)
+        assert "trace summary:" in recorded
+
+
+def test_compare_with_trace_dir(tmp_path, capsys):
+    trace_dir = tmp_path / "traces"
+    rc = main(
+        [
+            "compare",
+            "--trace",
+            "SDSC",
+            "--jobs",
+            "100",
+            "--trace-dir",
+            str(trace_dir),
+        ]
+    )
+    assert rc == 0
+    assert "No Suspension" in capsys.readouterr().out
+    written = sorted(p.name for p in trace_dir.glob("*.jsonl"))
+    assert len(written) >= 3  # one per compared scheme
+    from repro.obs import read_trace, summarize_trace
+
+    for path in trace_dir.glob("*.jsonl"):
+        assert summarize_trace(read_trace(path)).matches_run_end is True

@@ -1,0 +1,341 @@
+"""Decision tracing: counters, replay witness, round-trips, identity.
+
+The contracts under test (docs/TRACING.md):
+
+* **zero-overhead-when-off** -- no recorder (or a disabled one) means
+  ``driver.tracer is None`` and ``result.counters is None``;
+* **schedule identity** -- tracing changes no decisions: a traced run
+  is event-for-event identical to the untraced run of the same inputs;
+* **three-way consistency** -- for SS, TSS, IS and NS alike, the
+  driver's totals, the counters maintained during emission, and an
+  independent replay of the event stream all agree (per-job suspension
+  counts, busy-area integral, utilization);
+* **round-trip** -- a trace written to JSONL reads back to the same
+  replayed summary as the in-memory stream;
+* **self-check** -- the ``run_end`` trailer verifies the replay, and
+  structurally broken streams raise instead of replaying.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.core.immediate_service import ImmediateServiceScheduler
+from repro.core.overhead import DiskSwapOverheadModel
+from repro.core.selective_suspension import SelectiveSuspensionScheduler
+from repro.core.tss import TunableSelectiveSuspensionScheduler
+from repro.experiments.runner import simulate
+from repro.obs import (
+    DENIAL_CAUSES,
+    EVENT_TYPES,
+    NULL_RECORDER,
+    InMemoryRecorder,
+    JsonlRecorder,
+    TraceCounters,
+    read_trace,
+    summarize_trace,
+)
+from repro.obs.events import DECISION_ACTIONS
+from repro.schedulers.easy import EasyBackfillScheduler
+from repro.sim.audit import audit_result
+from repro.workload.synthetic import generate_trace
+
+N_PROCS = 128
+
+SCHEDULER_FACTORIES = {
+    "ss": lambda: SelectiveSuspensionScheduler(suspension_factor=1.5),
+    "tss": lambda: TunableSelectiveSuspensionScheduler(suspension_factor=1.5),
+    "is": ImmediateServiceScheduler,
+    "ns": EasyBackfillScheduler,
+}
+
+
+@pytest.fixture(scope="module")
+def trace_jobs():
+    """Congested enough that SS/TSS/IS all actually suspend someone."""
+    return generate_trace("SDSC", n_jobs=260, seed=9)
+
+
+def traced_run(trace_jobs, scheme: str):
+    recorder = InMemoryRecorder()
+    result = simulate(trace_jobs, SCHEDULER_FACTORIES[scheme](), N_PROCS, recorder=recorder)
+    return result, recorder
+
+
+def close(a: float, b: float) -> bool:
+    return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-6)
+
+
+# ----------------------------------------------------------------------
+# zero-overhead-when-off
+# ----------------------------------------------------------------------
+def test_untraced_run_has_no_counters(trace_jobs):
+    result = simulate(trace_jobs, EasyBackfillScheduler(), N_PROCS)
+    assert result.counters is None
+
+
+def test_disabled_recorder_keeps_tracing_off(trace_jobs):
+    assert not NULL_RECORDER.enabled
+    result = simulate(trace_jobs, EasyBackfillScheduler(), N_PROCS, recorder=NULL_RECORDER)
+    assert result.counters is None
+
+
+# ----------------------------------------------------------------------
+# schedule identity: tracing observes, never perturbs
+# ----------------------------------------------------------------------
+def schedule_signature(result):
+    return (
+        result.makespan,
+        result.busy_proc_seconds,
+        result.total_suspensions,
+        result.events_dispatched,
+        tuple(
+            (j.job_id, j.first_start_time, j.finish_time, j.suspension_count)
+            for j in result.jobs
+        ),
+    )
+
+
+@pytest.mark.parametrize("scheme", sorted(SCHEDULER_FACTORIES))
+def test_traced_run_identical_to_untraced(trace_jobs, scheme):
+    plain = simulate(trace_jobs, SCHEDULER_FACTORIES[scheme](), N_PROCS)
+    traced, _ = traced_run(trace_jobs, scheme)
+    assert schedule_signature(plain) == schedule_signature(traced)
+
+
+# ----------------------------------------------------------------------
+# three-way consistency: driver totals == counters == replayed trace
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("scheme", sorted(SCHEDULER_FACTORIES))
+def test_counters_and_replay_agree_with_driver(trace_jobs, scheme):
+    result, recorder = traced_run(trace_jobs, scheme)
+    audit_result(result)  # first witness: per-job record audit
+
+    counters = result.counters
+    assert isinstance(counters, TraceCounters)
+    assert counters.arrivals == len(trace_jobs)
+    assert counters.finishes == len(trace_jobs)
+    assert counters.suspensions == result.total_suspensions
+    assert counters.preempt_attempts == counters.preempt_grants + sum(
+        counters.preempt_denials.values()
+    )
+
+    # second witness: independent replay of the event stream
+    summary = summarize_trace(recorder.dicts())
+    assert summary.matches_run_end is True
+    assert summary.finished == len(trace_jobs)
+    assert summary.suspensions == result.total_suspensions
+    assert close(summary.makespan, result.makespan)
+    assert close(summary.busy_proc_seconds, result.busy_proc_seconds)
+    assert close(summary.utilization, result.utilization)
+
+    # per-job reconstruction: suspension counts and busy areas
+    by_id = {j.job_id: j for j in result.jobs}
+    assert set(summary.per_job) == set(by_id)
+    for jid, stats in summary.per_job.items():
+        job = by_id[jid]
+        assert stats.suspensions == job.suspension_count
+        assert stats.finish is not None and close(stats.finish, job.finish_time)
+        area = job.procs * (job.run_time + job.total_overhead)
+        assert close(stats.busy, area)
+    assert close(
+        sum(s.busy for s in summary.per_job.values()), result.busy_proc_seconds
+    )
+
+
+def test_preemptive_schemes_actually_suspended(trace_jobs):
+    """The fixture must exercise the interesting paths, or the
+
+    consistency assertions above would pass vacuously."""
+    for scheme in ("ss", "tss", "is"):
+        result, _ = traced_run(trace_jobs, scheme)
+        assert result.total_suspensions > 0, scheme
+
+
+def test_counters_refold_from_stream(trace_jobs):
+    """Counters must equal a from-scratch fold over the emitted events."""
+    result, recorder = traced_run(trace_jobs, "ss")
+    c = result.counters
+    events = recorder.dicts()
+    by_type = {t: sum(1 for e in events if e["type"] == t) for t in EVENT_TYPES}
+    assert c.arrivals == by_type["arrival"]
+    assert c.starts == by_type["start"] + by_type["backfill_start"]
+    assert c.backfill_fills == by_type["backfill_start"]
+    assert c.resumes == by_type["resume"]
+    assert c.suspensions == by_type["suspend"]
+    assert c.kills == by_type["kill"]
+    assert c.finishes == by_type["finish"]
+    denied = [e for e in events if e["type"] == "decision" and e["action"] == "preempt_denied"]
+    assert sum(c.preempt_denials.values()) == len(denied)
+
+
+# ----------------------------------------------------------------------
+# decision records
+# ----------------------------------------------------------------------
+def test_ss_decision_records_explain_preemptions(trace_jobs):
+    result, recorder = traced_run(trace_jobs, "ss")
+    decisions = [e for e in recorder.dicts() if e["type"] == "decision"]
+    assert decisions, "congested SS run must emit decisions"
+    grants = [d for d in decisions if d["action"] == "preempt"]
+    assert grants, "fixture must include at least one granted preemption"
+    suspended_via_decisions = sum(len(d["suspended"]) for d in grants)
+    assert suspended_via_decisions == result.total_suspensions
+    for d in decisions:
+        assert d["action"] in DECISION_ACTIONS
+        assert d["sf"] == 1.5
+        for v in d.get("victims", []):
+            assert v["verdict"] == "candidate" or v["verdict"] in DENIAL_CAUSES
+        if d["action"] == "preempt_denied":
+            assert d["cause"] in DENIAL_CAUSES
+        if d["action"] == "preempt":
+            # every granted preemption documents a passing eq. 2 test
+            # against each chosen victim
+            chosen = set(d["suspended"])
+            for v in d["victims"]:
+                if v["job"] in chosen:
+                    assert v["verdict"] == "candidate"
+                    assert d["xfactor"] >= d["sf"] * v["xfactor"]
+
+
+def test_tss_category_limit_verdicts_carry_limit(trace_jobs):
+    _, recorder = traced_run(trace_jobs, "tss")
+    verdicts = [
+        v
+        for e in recorder.dicts()
+        if e["type"] == "decision"
+        for v in e.get("victims", [])
+        if v["verdict"] == "category_limit"
+    ]
+    for v in verdicts:
+        assert v["limit"] > 0
+
+
+def test_is_decisions_carry_path_and_timeslice(trace_jobs):
+    _, recorder = traced_run(trace_jobs, "is")
+    decisions = [e for e in recorder.dicts() if e["type"] == "decision"]
+    assert decisions
+    assert {d["path"] for d in decisions} <= {"arrival", "sweep", "reentry"}
+    assert all(d["timeslice"] == 600.0 for d in decisions)
+    causes = {d["cause"] for d in decisions if d["action"] == "preempt_denied"}
+    assert causes <= {"protected", "priority", "insufficient"}
+
+
+def test_ns_run_emits_reservations_but_no_preemptions(trace_jobs):
+    result, recorder = traced_run(trace_jobs, "ns")
+    assert result.counters.preempt_attempts == 0
+    actions = {e["action"] for e in recorder.dicts() if e["type"] == "decision"}
+    assert actions <= {"reservation"}
+    assert result.counters.backfill_fills > 0
+
+
+# ----------------------------------------------------------------------
+# JSONL round-trip
+# ----------------------------------------------------------------------
+def test_jsonl_round_trip_matches_memory(trace_jobs, tmp_path):
+    path = tmp_path / "ss.jsonl"
+    with JsonlRecorder(path) as rec:
+        simulate(trace_jobs, SCHEDULER_FACTORIES["ss"](), N_PROCS, recorder=rec)
+    _, memory = traced_run(trace_jobs, "ss")
+    from_disk = list(read_trace(path))
+    assert from_disk == memory.dicts()
+    disk_summary = summarize_trace(from_disk)
+    mem_summary = summarize_trace(memory.dicts())
+    assert disk_summary == mem_summary
+    assert disk_summary.matches_run_end is True
+
+
+def test_jsonl_lines_are_compact_json(trace_jobs, tmp_path):
+    path = tmp_path / "ss.jsonl"
+    with JsonlRecorder(path) as rec:
+        simulate(trace_jobs[:40], SCHEDULER_FACTORIES["ss"](), N_PROCS, recorder=rec)
+    lines = path.read_text().splitlines()
+    assert lines and json.loads(lines[0])["type"] == "run_begin"
+    assert all(": " not in line.split('"', 1)[0] for line in lines)  # compact separators
+
+
+def test_overheaded_trace_accounts_for_overhead(trace_jobs, tmp_path):
+    """With the disk-swap model on, suspend events carry the charge and
+
+    the replayed busy integral still matches the driver's."""
+    recorder = InMemoryRecorder()
+    result = simulate(
+        trace_jobs,
+        SCHEDULER_FACTORIES["ss"](),
+        N_PROCS,
+        overhead_model=DiskSwapOverheadModel(),
+        recorder=recorder,
+    )
+    assert result.total_suspensions > 0
+    suspends = [e for e in recorder.dicts() if e["type"] == "suspend"]
+    assert all(e["overhead_added"] > 0 for e in suspends)
+    summary = summarize_trace(recorder.dicts())
+    assert summary.matches_run_end is True
+    assert close(summary.busy_proc_seconds, result.busy_proc_seconds)
+
+
+# ----------------------------------------------------------------------
+# replay self-checks
+# ----------------------------------------------------------------------
+def test_tampered_run_end_is_detected(trace_jobs):
+    _, recorder = traced_run(trace_jobs, "ss")
+    events = recorder.dicts()
+    events[-1]["busy_proc_seconds"] += 1.0
+    assert summarize_trace(events).matches_run_end is False
+
+
+def test_trace_without_trailer_has_no_verdict(trace_jobs):
+    _, recorder = traced_run(trace_jobs, "ns")
+    events = [e for e in recorder.dicts() if e["type"] != "run_end"]
+    assert summarize_trace(events).matches_run_end is None
+
+
+def test_replay_rejects_ghost_release():
+    events = [{"t": 1.0, "type": "finish", "job": 7}]
+    with pytest.raises(ValueError, match="not running"):
+        summarize_trace(events)
+
+
+def test_replay_rejects_double_dispatch():
+    events = [
+        {"t": 0.0, "type": "start", "job": 1, "width": 2},
+        {"t": 1.0, "type": "start", "job": 1, "width": 2},
+    ]
+    with pytest.raises(ValueError, match="dispatched twice"):
+        summarize_trace(events)
+
+
+def test_replay_rejects_truncated_stream():
+    events = [{"t": 0.0, "type": "start", "job": 1, "width": 2}]
+    with pytest.raises(ValueError, match="still on processors"):
+        summarize_trace(events)
+
+
+def test_replay_rejects_newer_schema():
+    events = [{"t": 0.0, "type": "run_begin", "job": None, "schema": 99}]
+    with pytest.raises(ValueError, match="newer"):
+        summarize_trace(events)
+
+
+def test_read_trace_reports_malformed_line(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"t":0.0,"type":"run_begin","job":null}\nnot json\n')
+    with pytest.raises(ValueError, match="bad.jsonl:2"):
+        list(read_trace(path))
+
+
+# ----------------------------------------------------------------------
+# counters plumbing
+# ----------------------------------------------------------------------
+def test_queue_depth_series(trace_jobs):
+    result, _ = traced_run(trace_jobs, "ss")
+    series = result.counters.queue_depth
+    assert series, "queue depth series must not be empty"
+    times = [t for t, _ in series]
+    assert times == sorted(times)
+    assert len(set(times)) == len(times), "same-t samples must coalesce"
+    assert all(d >= 0 for _, d in series)
+    assert result.counters.max_queue_depth == max(d for _, d in series)
+    assert series[-1][1] == 0, "a drained run ends with an empty queue"

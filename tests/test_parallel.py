@@ -301,3 +301,89 @@ def test_cache_survives_corrupt_entry(small_trace, tmp_path):
     outcome = run_grid([cell], cache=cache)
     assert outcome.executed == 1  # re-simulated despite the bad file
     assert outcome.results["x"].n_procs == N_PROCS
+
+
+# ----------------------------------------------------------------------
+# per-cell tracing through the grid (docs/TRACING.md)
+# ----------------------------------------------------------------------
+def test_trace_file_for_key_sanitises():
+    from repro.experiments.parallel import trace_file_for_key
+
+    assert trace_file_for_key("d", "SF = 1.5").endswith("SF_1.5.jsonl")
+    assert trace_file_for_key("d", "(SS, load 1.2)").endswith("SS_load_1.2.jsonl")
+    assert trace_file_for_key("d", "///").endswith("cell.jsonl")
+
+
+def test_run_grid_writes_traces_and_bypasses_cache(small_trace, tmp_path):
+    from repro.obs import read_trace, summarize_trace
+
+    cache = ResultCache(tmp_path / "cache")
+    traced = GridCell(
+        key="traced",
+        jobs=small_trace,
+        n_procs=N_PROCS,
+        scheduler_config=EasyBackfillScheduler().config(),
+        trace_path=str(tmp_path / "traced.jsonl"),
+    )
+    plain = GridCell(
+        key="plain",
+        jobs=small_trace,
+        n_procs=N_PROCS,
+        scheduler_config=EasyBackfillScheduler().config(),
+    )
+    first = run_grid([traced, plain], cache=cache)
+    assert first.executed == 2 and first.cache_hits == 0
+    assert first.trace_paths == {"traced": str(tmp_path / "traced.jsonl")}
+    summary = summarize_trace(read_trace(tmp_path / "traced.jsonl"))
+    assert summary.matches_run_end is True
+
+    # warm cache: the plain cell hits, the traced cell re-simulates
+    # (and rewrites its trace) -- traces record actual runs, never
+    # cache hits, in either direction
+    second = run_grid([traced, plain], cache=cache)
+    assert second.cache_hits == 1
+    assert second.executed == 1
+    assert schedule_signature(first.results["traced"]) == schedule_signature(
+        second.results["traced"]
+    )
+    # the cached plain result carries no counters (it was untraced)
+    assert second.results["plain"].counters is None
+
+
+def test_parallel_trace_dir_matches_untraced_run(small_trace, tmp_path):
+    from repro.obs import read_trace, summarize_trace
+
+    schemes = standard_schemes([1.5])
+    plain = compare_schemes_parallel(small_trace, N_PROCS, schemes, workers=2)
+    traced = compare_schemes_parallel(
+        small_trace, N_PROCS, schemes, workers=2, trace_dir=tmp_path / "traces"
+    )
+    assert list(plain) == list(traced)
+    for label in plain:
+        assert schedule_signature(plain[label]) == schedule_signature(traced[label])
+
+    files = sorted((tmp_path / "traces").glob("*.jsonl"))
+    assert len(files) == len(schemes)
+    for path in files:
+        summary = summarize_trace(read_trace(path))
+        assert summary.matches_run_end is True
+
+
+def test_traced_worker_results_match_trace_contents(small_trace, tmp_path):
+    """The per-cell trace written by a pool worker must replay to the
+
+    exact totals of the result the pool returned for that cell."""
+    from repro.experiments.parallel import trace_file_for_key
+    from repro.obs import read_trace, summarize_trace
+
+    schemes = standard_schemes([2.0])
+    results = compare_schemes_parallel(
+        small_trace, N_PROCS, schemes, workers=2, trace_dir=tmp_path
+    )
+    for spec in schemes:
+        path = trace_file_for_key(tmp_path, spec.label)
+        summary = summarize_trace(read_trace(path))
+        result = results[spec.label]
+        assert summary.suspensions == result.total_suspensions
+        assert summary.finished == len(result.jobs)
+        assert abs(summary.busy_proc_seconds - result.busy_proc_seconds) <= 1e-6

@@ -81,7 +81,7 @@ def test_figs_35_44_load_variation(benchmark, trace):
     from repro.workload.archive import get_preset
 
     knee = get_preset(trace).saturation_load
-    for load, s_u, n_u in zip(loads, ss, ns):
+    for load, s_u, n_u in zip(loads, ss, ns, strict=True):
         if load <= knee:
             assert s_u >= n_u - 0.06, f"load {load}: SS {s_u:.3f} vs NS {n_u:.3f}"
         else:

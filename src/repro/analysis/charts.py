@@ -119,7 +119,7 @@ def line_plot(
     for idx, (name, ys) in enumerate(series.items()):
         mark = _MARKS[idx % len(_MARKS)]
         legend.append(f"{mark}={name}")
-        for x, y in zip(xs, ys):
+        for x, y in zip(xs, ys, strict=True):
             col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
             row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
             grid[height - 1 - row][col] = mark

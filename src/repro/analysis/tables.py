@@ -44,12 +44,12 @@ def render_table(
     for row in rows:
         for i, cell in enumerate(row):
             widths[i] = max(widths[i], len(_fmt(cell, 0, precision).strip()))
-    head = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    head = "  ".join(h.rjust(w) for h, w in zip(headers, widths, strict=True))
     rule = "-" * len(head)
     body = [
         "  ".join(
             _fmt(cell, w, precision) if i else str(cell).ljust(w)
-            for i, (cell, w) in enumerate(zip(row, widths))
+            for i, (cell, w) in enumerate(zip(row, widths, strict=True))
         )
         for row in rows
     ]

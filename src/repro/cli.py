@@ -15,6 +15,10 @@ Subcommands
     Decision traces (see ``docs/TRACING.md``): ``record`` a traced run
     to JSONL, ``summarize`` a trace by independent replay, ``filter``
     events by type/job, ``gantt`` an ASCII/CSV occupancy timeline.
+``lint``
+    repro-lint, the determinism & protocol-conformance static analyser
+    (see ``docs/STATIC_ANALYSIS.md``); all arguments after ``lint`` are
+    forwarded to :mod:`repro.lint.cli`.
 
 Examples
 --------
@@ -53,6 +57,7 @@ from repro.schedulers.easy import EasyBackfillScheduler
 from repro.schedulers.fcfs import FCFSScheduler
 from repro.workload.archive import get_preset
 from repro.workload.estimates import AccurateEstimates, InaccurateEstimates
+from repro.workload.job import Job
 from repro.workload.load import scale_load
 from repro.workload.swf import jobs_from_swf_records, read_swf
 from repro.workload.synthetic import generate_trace
@@ -100,7 +105,7 @@ def _build_scheduler(args: argparse.Namespace) -> Scheduler:
     raise SystemExit(f"unknown scheduler {args.scheduler!r}")
 
 
-def _load_jobs(args: argparse.Namespace) -> tuple[list, int]:
+def _load_jobs(args: argparse.Namespace) -> tuple[list[Job], int]:
     """Returns (jobs, n_procs) from either --swf or the preset generator."""
     if getattr(args, "swf", None):
         preset = get_preset(args.trace)
@@ -211,6 +216,17 @@ def build_parser() -> argparse.ArgumentParser:
     ins = sub.add_parser("inspect", help="characterise a workload (section III style)")
     _add_trace_args(ins)
 
+    lnt = sub.add_parser(
+        "lint",
+        help="repro-lint static analysis (determinism & protocol conformance)",
+        add_help=False,
+    )
+    lnt.add_argument(
+        "lint_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to repro.lint.cli (try `lint --help`)",
+    )
+
     trc = sub.add_parser("trace", help="record / replay decision traces")
     trc_sub = trc.add_subparsers(dest="trace_cmd", required=True)
 
@@ -264,8 +280,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
+    args_list = list(sys.argv[1:] if argv is None else argv)
+    if args_list and args_list[0] == "lint":
+        # forwarded wholesale: the lint CLI owns its own argparse (its
+        # option set must not be filtered through this parser; argparse
+        # REMAINDER mangles leading options under subparsers)
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(args_list[1:])
     try:
-        return _dispatch(build_parser().parse_args(argv))
+        return _dispatch(build_parser().parse_args(args_list))
     except BrokenPipeError:
         # output piped into a pager/head that closed early -- not an error
         try:
@@ -287,6 +311,11 @@ def _dispatch(args: argparse.Namespace) -> int:
             )
         )
         return 0
+
+    if args.command == "lint":
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(args.lint_args)
 
     if args.command == "trace":
         return _dispatch_trace(args)

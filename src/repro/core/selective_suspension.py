@@ -327,10 +327,11 @@ class SelectiveSuspensionScheduler(Scheduler):
         tracer = driver.tracer
         idle_priority = priorities[job.job_id]
         owner_ids = driver.cluster.owners_overlapping(needed)
-        # sorted for determinism: running_jobs() iterates a set, and
-        # both the verdict-list order and the reported primary blocking
-        # cause must reproduce run to run (traces are byte-identical
-        # for identical inputs -- docs/TRACING.md).
+        # sorted for determinism: both the verdict-list order and the
+        # reported primary blocking cause must reproduce run to run
+        # (traces are byte-identical for identical inputs --
+        # docs/TRACING.md), so the order is pinned to job ids rather
+        # than to whatever order running_jobs() happens to return.
         owners = sorted(
             (r for r in driver.running_jobs() if r.job_id in owner_ids),
             key=lambda r: r.job_id,

@@ -99,7 +99,7 @@ class CategoryLimits:
         raw = config.get("table", {})
         assert isinstance(raw, dict)
         table: dict[SixteenWayCategory, float] = {}
-        for key, limit in raw.items():
+        for key, limit in sorted(raw.items()):
             run, _, width = key.partition("|")
             table[(run, width)] = float(limit)
         return cls(table=table, margin=margin)

@@ -39,7 +39,7 @@ from repro.schedulers.easy import EasyBackfillScheduler
 from repro.sim.driver import SimulationResult
 from repro.workload.archive import get_preset
 from repro.workload.categories import classify_four_way
-from repro.workload.estimates import InaccurateEstimates
+from repro.workload.estimates import EstimateModel, InaccurateEstimates
 from repro.workload.job import Job
 from repro.workload.load import scale_load
 from repro.workload.synthetic import generate_trace
@@ -64,7 +64,9 @@ class ExperimentOutput:
     results: dict[str, SimulationResult] = field(default_factory=dict)
 
 
-def _trace(trace: str, n_jobs: int, seed: int, estimates=None) -> list[Job]:
+def _trace(
+    trace: str, n_jobs: int, seed: int, estimates: EstimateModel | None = None
+) -> list[Job]:
     return generate_trace(trace, n_jobs=n_jobs, seed=seed, estimate_model=estimates)
 
 
@@ -438,7 +440,7 @@ def overhead_impact(
     loaded = compare_schemes_parallel(
         jobs,
         preset.n_procs,
-        tuned + [s for s in standard_schemes(()) if s.label in ("No Suspension", "IS")],
+        [*tuned, *(s for s in standard_schemes(()) if s.label in ("No Suspension", "IS"))],
         overhead_model=overhead,
         workers=workers,
         cache=cache,

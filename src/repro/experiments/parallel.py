@@ -219,7 +219,7 @@ def run_grid(
                 assert fp is not None and result is not None
                 cache.put(fp, result)
 
-    for cell, result in zip(cells, slots):
+    for cell, result in zip(cells, slots, strict=True):
         assert result is not None
         outcome.results[cell.key] = result
         if cell.trace_path is not None:

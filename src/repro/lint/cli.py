@@ -1,0 +1,173 @@
+"""The ``repro-sched lint`` front end (also ``tools/run_lint.py``).
+
+Usage::
+
+    repro-sched lint [paths ...] [--baseline FILE] [--format human|json]
+                     [--jobs N] [--select RPR001,RPR004] [--no-baseline]
+                     [--update-baseline] [--list-rules] [--verbose]
+
+Exit status: 0 when no active findings, 1 when there are, 2 on usage
+errors.  The default baseline is ``tools/lint_baseline.json`` relative
+to the repository root (located by walking up from the first path to a
+``pyproject.toml``); ``--no-baseline`` shows the raw picture.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import lint_paths, render_human
+from repro.lint.findings import render_json
+from repro.lint.project import RULE as PROJECT_RULE
+from repro.lint.rules import PER_FILE_CHECKERS
+
+DEFAULT_BASELINE_NAME = "tools/lint_baseline.json"
+
+
+def rule_catalogue() -> list[tuple[str, str]]:
+    """(rule id, one-line title) pairs, in rule-id order."""
+    rows = [(c.rule, c.title) for c in PER_FILE_CHECKERS]
+    rows.append((PROJECT_RULE, "cross-file protocol conformance"))
+    rows.append(("RPR000", "framework diagnostics (parse/suppression/baseline)"))
+    return sorted(rows)
+
+
+def find_default_baseline(paths: Sequence[str]) -> Path | None:
+    """Walk up from the first path to the repo root's baseline file."""
+    start = Path(paths[0]).resolve() if paths else Path.cwd()
+    if start.is_file():
+        start = start.parent
+    for candidate in (start, *start.parents):
+        if (candidate / "pyproject.toml").exists():
+            return candidate / DEFAULT_BASELINE_NAME
+    return None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sched lint",
+        description="repro-lint: determinism & protocol-conformance static analysis",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or package roots to analyse (default: src/repro)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="accepted-findings file (default: tools/lint_baseline.json "
+        "at the repo root)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline; report every finding",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="absorb current findings into the baseline (new entries need "
+        "justifications before the baseline passes) and prune stale ones",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="analyse files over N processes (deterministic merge; default 1)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule subset (e.g. RPR001,RPR004)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="also show baselined findings"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule, title in rule_catalogue():
+            print(f"{rule}  {title}")
+        return 0
+
+    select = None
+    if args.select:
+        select = [r.strip() for r in args.select.split(",") if r.strip()]
+
+    baseline: Baseline | None = None
+    if not args.no_baseline:
+        baseline_path = (
+            Path(args.baseline)
+            if args.baseline
+            else find_default_baseline(list(args.paths))
+        )
+        if baseline_path is not None:
+            try:
+                baseline = Baseline.load(baseline_path)
+            except (ValueError, OSError) as exc:
+                print(f"error: cannot load baseline: {exc}", file=sys.stderr)
+                return 2
+
+    try:
+        report = lint_paths(
+            args.paths, baseline=baseline, jobs=max(args.jobs, 1), select=select
+        )
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        if baseline is None:
+            print("error: --update-baseline needs a baseline path", file=sys.stderr)
+            return 2
+        all_findings = sorted(
+            report.active + report.baselined, key=lambda f: f.sort_key()
+        )
+        added = baseline.absorb(all_findings)
+        baseline.save()
+        print(
+            f"baseline updated: {len(baseline.entries)} entr(y/ies), "
+            f"{added} new (fill in their justifications), "
+            f"{len(report.stale_baseline)} stale pruned -> {baseline.path}"
+        )
+        return 0
+
+    if args.format == "json":
+        print(
+            render_json(
+                report.active,
+                suppressed=report.suppressed,
+                baselined=len(report.baselined),
+                files=report.files,
+                stale_baseline=report.stale_baseline,
+            )
+        )
+    else:
+        print(render_human(report, verbose=args.verbose))
+    return report.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,222 @@
+"""Lint orchestration: discovery, parallel analysis, deterministic merge.
+
+Per-file analysis is embarrassingly parallel, so -- exactly like the
+experiment grid in :mod:`repro.experiments.parallel` -- files fan out
+over a ``ProcessPoolExecutor`` and results merge in *input* order,
+never completion order; a parallel lint is byte-identical to a serial
+one.  The cross-file RPR004 pass then runs in-process over the parsed
+set, suppressions (already applied in the workers, where the source is
+at hand) and the baseline are folded in, and findings come back sorted
+by location.
+"""
+
+from __future__ import annotations
+
+import ast
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.baseline import Baseline
+from repro.lint.checker import FileContext
+from repro.lint.findings import FRAMEWORK_RULE, Finding, assign_occurrences
+from repro.lint.rules import PER_FILE_CHECKERS
+from repro.lint.suppress import parse_suppressions
+
+#: directories never worth descending into
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules"})
+
+
+@dataclass
+class FileResult:
+    """Worker output for one file (picklable)."""
+
+    relpath: str
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    #: suppression-system RPR000s (malformed / unjustified directives)
+    errors: list[Finding] = field(default_factory=list)
+
+
+@dataclass
+class LintReport:
+    """The merged outcome :func:`lint_paths` returns."""
+
+    active: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    stale_baseline: list[str] = field(default_factory=list)
+    files: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.active else 0
+
+
+def discover_files(paths: Sequence[str | Path]) -> list[tuple[Path, str]]:
+    """(absolute path, root-relative posix path) for every ``.py`` file.
+
+    A directory argument is a *root*: relpaths (and therefore baseline
+    fingerprints) are relative to it.  A file argument is its own root
+    of one.
+    """
+    out: list[tuple[Path, str]] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        p = Path(raw).resolve()
+        if p.is_file():
+            if p.suffix == ".py" and p not in seen:
+                seen.add(p)
+                out.append((p, p.name))
+            continue
+        if not p.is_dir():
+            raise FileNotFoundError(f"lint path does not exist: {raw}")
+        for f in sorted(p.rglob("*.py")):
+            if any(part in _SKIP_DIRS for part in f.parts):
+                continue
+            if f not in seen:
+                seen.add(f)
+                out.append((f, f.relative_to(p).as_posix()))
+    return out
+
+
+def _select(rules: frozenset[str] | None, rule: str) -> bool:
+    return rules is None or rule in rules
+
+
+def analyze_source(
+    relpath: str, source: str, select: frozenset[str] | None = None
+) -> FileResult:
+    """Run every applicable per-file checker over one source blob.
+
+    Suppressions are applied here (the only place line text is still at
+    hand); the caller receives surviving findings plus the count of
+    suppressed ones.  A syntax error becomes a single RPR000 finding --
+    unparseable decision code is a finding, not a crash.
+    """
+    result = FileResult(relpath=relpath)
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as exc:
+        result.findings.append(
+            Finding(
+                rule=FRAMEWORK_RULE,
+                path=relpath,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                message=f"syntax error: {exc.msg}",
+                snippet=(exc.text or "").strip(),
+            )
+        )
+        return result
+
+    ctx = FileContext(relpath, source, tree)
+    suppressions = parse_suppressions(source, relpath)
+    raw: list[Finding] = []
+    for checker_cls in PER_FILE_CHECKERS:
+        if not _select(select, checker_cls.rule):
+            continue
+        if not checker_cls.applies_to(relpath):
+            continue
+        raw.extend(checker_cls(ctx).run())
+
+    kept: list[Finding] = []
+    for f in sorted(raw, key=Finding.sort_key):
+        if suppressions.covers(f.rule, f.line):
+            result.suppressed += 1
+        else:
+            kept.append(f)
+    result.findings = kept
+    if _select(select, FRAMEWORK_RULE):
+        result.errors = list(suppressions.errors)
+    return result
+
+
+def _analyze_path(args: tuple[str, str, frozenset[str] | None]) -> FileResult:
+    """Pool entry point: read + analyse one file (module-level, picklable)."""
+    abspath, relpath, select = args
+    source = Path(abspath).read_text(encoding="utf-8")
+    return analyze_source(relpath, source, select)
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    *,
+    baseline: Baseline | None = None,
+    jobs: int = 1,
+    select: Iterable[str] | None = None,
+) -> LintReport:
+    """Lint *paths* and return the merged, baseline-filtered report.
+
+    ``jobs`` > 1 fans per-file analysis over a process pool; output is
+    independent of the worker count.  ``select`` restricts to a rule
+    subset (tests use this to probe one rule at a time).
+    """
+    selected = frozenset(select) if select is not None else None
+    files = discover_files(paths)
+    work = [(str(abspath), relpath, selected) for abspath, relpath in files]
+
+    if jobs > 1 and len(work) > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            results = list(pool.map(_analyze_path, work, chunksize=4))
+    else:
+        results = [_analyze_path(w) for w in work]
+
+    merged: list[Finding] = []
+    report = LintReport(files=len(files))
+    for res in results:
+        merged.extend(res.findings)
+        merged.extend(res.errors)
+        report.suppressed += res.suppressed
+
+    # cross-file pass (RPR004) over the full parsed set
+    if selected is None or "RPR004" in selected:
+        from repro.lint.project import run_project_checks
+
+        contexts: dict[str, FileContext] = {}
+        for abspath, relpath in files:
+            source = Path(abspath).read_text(encoding="utf-8")
+            try:
+                tree = ast.parse(source, filename=relpath)
+            except SyntaxError:
+                continue  # already reported as RPR000 above
+            contexts[relpath] = FileContext(relpath, source, tree)
+        project_findings = run_project_checks(contexts)
+        # project findings honour inline suppressions too
+        for f in project_findings:
+            supp = parse_suppressions(
+                contexts[f.path].source if f.path in contexts else "", f.path
+            )
+            if supp.covers(f.rule, f.line):
+                report.suppressed += 1
+            else:
+                merged.append(f)
+
+    merged = assign_occurrences(sorted(merged, key=Finding.sort_key))
+
+    if baseline is not None:
+        merged.extend(baseline.unjustified())
+        active, baselined, stale = baseline.split(merged)
+        report.active = sorted(active, key=Finding.sort_key)
+        report.baselined = baselined
+        report.stale_baseline = stale
+    else:
+        report.active = merged
+    return report
+
+
+def render_human(report: LintReport, *, verbose: bool = False) -> str:
+    """The terminal report."""
+    lines = [f.render() for f in report.active]
+    if verbose and report.baselined:
+        lines.append("")
+        lines.append("baselined (accepted) findings:")
+        lines.extend(f"  {f.render()}" for f in report.baselined)
+    for fp in report.stale_baseline:
+        lines.append(f"note: stale baseline entry {fp} (code changed or removed)")
+    lines.append(
+        f"{len(report.active)} finding(s) in {report.files} file(s) "
+        f"({report.suppressed} suppressed, {len(report.baselined)} baselined)"
+    )
+    return "\n".join(lines)

@@ -48,6 +48,7 @@ class _Slot:
 
     def used(self) -> set[int]:
         out: set[int] = set()
+        # repro-lint: disable=RPR001 -- set-union fold: result is order-insensitive
         for cols in self.columns.values():
             out |= cols
         return out

@@ -72,7 +72,7 @@ class AvailabilityProfile:
 
     def breakpoints(self) -> list[tuple[float, int]]:
         """Snapshot of (time, free) steps -- for tests and debugging."""
-        return list(zip(self._times, self._free))
+        return list(zip(self._times, self._free, strict=True))
 
     def clone(self) -> "AvailabilityProfile":
         """Independent copy (what-if planning without mutating the original)."""
@@ -146,7 +146,7 @@ class AvailabilityProfile:
                 f"{count} processors can never be free on a {self.n_procs}-proc machine"
             )
         start = self.origin if earliest is None else max(earliest, self.origin)
-        candidates = [start] + [t for t in self._times if t > start]
+        candidates = [start, *(t for t in self._times if t > start)]
         for t in candidates:
             if self.fits(t, duration, count):
                 return t
@@ -161,5 +161,5 @@ class AvailabilityProfile:
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        steps = ", ".join(f"{t:g}:{f}" for t, f in zip(self._times, self._free))
+        steps = ", ".join(f"{t:g}:{f}" for t, f in zip(self._times, self._free, strict=True))
         return f"AvailabilityProfile[{steps}]"

@@ -211,7 +211,9 @@ class SchedulingSimulation:
         self.loop.on(EventKind.JOB_KILL, self._handle_kill)
 
         self._queued: dict[int, Job] = {}
-        self._running: set[Job] = set()
+        # keyed by job_id, insertion-ordered by dispatch time: iteration
+        # order is part of the schedule, so hash order must never be
+        self._running: dict[int, Job] = {}
         self._finished: list[Job] = []
         self._finish_events: dict[int, Event] = {}
         self._arrivals_pending = 0
@@ -235,11 +237,13 @@ class SchedulingSimulation:
 
     def queued_jobs(self) -> list[Job]:
         """Queued jobs in queue-entry order (arrivals and re-queues)."""
+        # repro-lint: disable=RPR001 -- int-keyed dict filled in event order; insertion order IS the queue discipline
         return list(self._queued.values())
 
     def running_jobs(self) -> list[Job]:
-        """Currently running jobs (unordered set, returned as a list)."""
-        return list(self._running)
+        """Currently running jobs in dispatch order (oldest first)."""
+        # repro-lint: disable=RPR001 -- int-keyed dict filled at dispatch; insertion order is deterministic by construction
+        return list(self._running.values())
 
     @property
     def queue_length(self) -> int:
@@ -307,7 +311,7 @@ class SchedulingSimulation:
         )
         self._finish_events[job.job_id] = ev
         del self._queued[job.job_id]
-        self._running.add(job)
+        self._running[job.job_id] = job
         if self.tracer is not None:
             self.tracer.dispatch(self.now, job, procs, resumed, via)
         return procs
@@ -322,7 +326,7 @@ class SchedulingSimulation:
         on whose behalf this victim is being suspended (``None`` when
         unknown).  It has no scheduling effect.
         """
-        if job not in self._running:
+        if job.job_id not in self._running:
             raise SimulationError(f"suspend_job: job {job.job_id} is not running")
         ran = self.now - job.last_dispatch_time
         if ran < -1e-9:
@@ -346,7 +350,7 @@ class SchedulingSimulation:
         job.mark_suspended(self.now)
         if self.migratable:
             job.suspended_procs = frozenset()  # may restart anywhere
-        self._running.remove(job)
+        del self._running[job.job_id]
         self._queued[job.job_id] = job
         self.total_suspensions += 1
         if self.tracer is not None:
@@ -390,7 +394,7 @@ class SchedulingSimulation:
         wasted = max(self.now - job.last_dispatch_time, 0.0)
         self.cluster.release(released, job.job_id)
         job.mark_killed(self.now)
-        self._running.remove(job)
+        del self._running[job.job_id]
         self._queued[job.job_id] = job
         self.total_kills += 1
         if self.tracer is not None:
@@ -426,7 +430,7 @@ class SchedulingSimulation:
         self._account_busy()
         self.cluster.release(job.allocated_procs, job.job_id)
         job.mark_finished(self.now)
-        self._running.remove(job)
+        del self._running[job.job_id]
         self._finished.append(job)
         if self.tracer is not None:
             self.tracer.finish(self.now, job)
@@ -497,7 +501,7 @@ class SchedulingSimulation:
 
         if require_drain and len(self._finished) != len(jobs):
             unfinished = sorted(
-                set(j.job_id for j in jobs) - set(j.job_id for j in self._finished)
+                {j.job_id for j in jobs} - {j.job_id for j in self._finished}
             )
             raise SimulationError(
                 f"{len(unfinished)} job(s) never finished "

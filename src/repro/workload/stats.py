@@ -79,7 +79,7 @@ def workload_stats(jobs: Iterable[Job]) -> WorkloadStats:
     widths = [float(j.procs) for j in jobs]
     factors = [j.estimate / j.run_time for j in jobs]
     submits = [j.submit_time for j in jobs]
-    gaps = [b - a for a, b in zip(submits, submits[1:])]
+    gaps = [b - a for a, b in zip(submits, submits[1:], strict=False)]
     span = max(submits[-1] - submits[0], 1.0)
 
     if len(gaps) >= 2:

@@ -63,7 +63,7 @@ def test_work_conservation_across_schedulers(sdsc_runs):
         name: sum(j.procs * j.run_time for j in r.jobs)
         for name, r in sdsc_runs.items()
     }
-    values = set(round(a, 6) for a in areas.values())
+    values = {round(a, 6) for a in areas.values()}
     assert len(values) == 1
 
 
@@ -158,7 +158,7 @@ def test_claim_is_wins_only_very_short(ctc_runs):
         _mean_sd(ctc_runs["IS"], c)
         for c in (("L", "W"), ("L", "N"), ("VL", "N"), ("VL", "W"))
     ]
-    pairs = [(s, i) for s, i in zip(ss_long, is_long) if s is not None and i is not None]
+    pairs = [(s, i) for s, i in zip(ss_long, is_long, strict=True) if s is not None and i is not None]
     assert pairs
     assert sum(1 for s, i in pairs if i > s) >= len(pairs) / 2
 

@@ -258,7 +258,7 @@ def test_fresh_copies_independent():
     jobs = [make_job(job_id=i) for i in range(3)]
     copies = fresh_copies(jobs)
     assert len(copies) == 3
-    assert all(a is not b for a, b in zip(jobs, copies))
+    assert all(a is not b for a, b in zip(jobs, copies, strict=True))
 
 
 def test_job_identity_semantics():

@@ -97,7 +97,7 @@ def test_profile_free_never_negative_or_above_capacity(claim_list):
     for start, duration, count in claim_list:
         if p.min_free(start, start + duration) >= count:
             p.claim(start, duration, count)
-    for t, free in p.breakpoints():
+    for _t, free in p.breakpoints():
         assert 0 <= free <= 32
 
 

@@ -75,7 +75,7 @@ def test_segments_partition_the_schedule():
         out = two_task_timeline(sf)
         # contiguous, non-overlapping, starting at 0
         assert out.segments[0].start == 0.0
-        for a, b in zip(out.segments, out.segments[1:]):
+        for a, b in zip(out.segments, out.segments[1:], strict=False):
             assert a.end == pytest.approx(b.start)
         # each task gets exactly L = 1 of run time
         for task in (1, 2):

@@ -81,7 +81,7 @@ def test_csv_round_trips_exactly():
     text = timeline_csv(ivs)
     rows = list(csv.DictReader(io.StringIO(text)))
     assert len(rows) == len(ivs)
-    for row, iv in zip(rows, ivs):
+    for row, iv in zip(rows, ivs, strict=True):
         assert int(row["job"]) == iv.job_id
         assert float(row["start"]) == iv.start  # repr round-trip is exact
         assert float(row["end"]) == iv.end

@@ -43,11 +43,17 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: documents checked by default (the ones whose examples must run)
-DEFAULT_DOCS = ("README.md", "docs/TRACING.md", "EXPERIMENTS.md", "DESIGN.md")
+DEFAULT_DOCS = (
+    "README.md",
+    "docs/TRACING.md",
+    "docs/STATIC_ANALYSIS.md",
+    "EXPERIMENTS.md",
+    "DESIGN.md",
+)
 
 #: only these docs get their fenced blocks *executed* (the others are
 #: still link/anchor checked -- their fences quote output, not input)
-EXECUTABLE_DOCS = ("README.md", "docs/TRACING.md")
+EXECUTABLE_DOCS = ("README.md", "docs/TRACING.md", "docs/STATIC_ANALYSIS.md")
 
 RUN_MARKER = "<!-- docs-check: run -->"
 SKIP_MARKER = "<!-- docs-check: skip -->"

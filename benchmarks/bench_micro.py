@@ -4,22 +4,199 @@ Conventional pytest-benchmark timings (many rounds) for the hot paths:
 event calendar throughput, profile operations, cluster allocation, and
 end-to-end simulation rate in jobs/second for each scheduler family.
 Regressions here silently inflate every figure bench, so they are
-tracked separately.
+tracked separately -- ``tools/bench_gate.py`` runs this module, writes
+the schema-versioned ``BENCH_PR4.json`` artifact and fails CI on
+regressions against the committed baseline.
+
+The pre-optimisation kernel survives here as *executable references*:
+
+* :class:`LegacyCluster` -- the set/dict free-pool bookkeeping that the
+  bitmask :class:`repro.cluster.machine.Cluster` replaced;
+* :class:`LegacySweepScheduler` -- the SS sweep that recomputed
+  priorities per access, re-sorted ``running_jobs()`` per idle job and
+  rebuilt the pinned set per placement;
+* :class:`LegacyAvailabilityProfile` -- the candidates-times-``fits``
+  anchor rescan and the double-``list.insert`` claim.
+
+Each has a ``*_legacy`` bench twin so every speedup claim is measured
+in the same run it is reported from, and the ``test_*_identical``
+cases assert the optimised kernel makes byte-for-byte the same
+scheduling decisions as the legacy one -- the speedups are asserted,
+not claimed.
 """
 
 from __future__ import annotations
 
-from repro.cluster.machine import Cluster
+from typing import Iterable
+
+from repro.cluster.machine import AllocationError, Cluster
 from repro.core.priorities import suspension_priority
 from repro.core.selective_suspension import SelectiveSuspensionScheduler
 from repro.schedulers.easy import EasyBackfillScheduler
-from repro.schedulers.profiles import AvailabilityProfile
+from repro.schedulers.profiles import AvailabilityProfile, ProfileError
+from repro.sim.driver import SchedulingSimulation
 from repro.sim.events import EventKind, EventQueue
-from repro.workload.job import fresh_copies
+from repro.workload.job import Job, fresh_copies
+from repro.workload.load import scale_load
 from repro.workload.synthetic import generate_trace
 from tests.conftest import run_sim
 
 JOBS_SDSC = generate_trace("SDSC", n_jobs=400, seed=3)
+#: the regime the ROADMAP cares about: a long, overloaded SDSC trace
+#: where queues stay deep and the kernel's quadratic terms dominate
+JOBS_CONGESTED = scale_load(generate_trace("SDSC", n_jobs=700, seed=5), 1.8)
+
+
+# ----------------------------------------------------------------------
+# legacy reference implementations (pre-bitmask kernel)
+# ----------------------------------------------------------------------
+class LegacyCluster:
+    """The set/dict cluster the bitmask :class:`Cluster` replaced.
+
+    Free pool as ``set[int]``, ownership as ``dict[proc, owner]``; same
+    public API and error behaviour, so it drops into the driver for the
+    ``*_legacy`` benches and the equivalence assertions.
+    """
+
+    def __init__(self, n_procs: int, policy=None) -> None:
+        from repro.cluster.allocation import LowestIdFirst
+
+        self.n_procs = int(n_procs)
+        self._free: set[int] = set(range(self.n_procs))
+        self._owner: dict[int, int] = {}
+        self.policy = policy or LowestIdFirst()
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    @property
+    def busy_count(self) -> int:
+        return self.n_procs - len(self._free)
+
+    def free_set(self) -> frozenset[int]:
+        return frozenset(self._free)
+
+    def is_free(self, proc: int) -> bool:
+        return proc in self._free
+
+    def owner_of(self, proc: int) -> int | None:
+        return self._owner.get(proc)
+
+    def owners_overlapping(self, procs: Iterable[int]) -> set[int]:
+        out: set[int] = set()
+        for p in procs:
+            owner = self._owner.get(p)
+            if owner is not None:
+                out.add(owner)
+        return out
+
+    def can_allocate(self, count: int) -> bool:
+        return count <= len(self._free)
+
+    def can_allocate_specific(self, procs: Iterable[int]) -> bool:
+        return all(p in self._free for p in procs)
+
+    def allocate(self, count: int, owner: int) -> frozenset[int]:
+        if count <= 0:
+            raise AllocationError(f"job {owner}: nonpositive request {count}")
+        if count > self.n_procs:
+            raise AllocationError(
+                f"job {owner}: requests {count} > machine size {self.n_procs}"
+            )
+        if count > len(self._free):
+            raise AllocationError(
+                f"job {owner}: requests {count}, only {len(self._free)} free"
+            )
+        chosen = self.policy.select(self._free, count)
+        return self._claim(chosen, owner)
+
+    def allocate_specific(self, procs: Iterable[int], owner: int) -> frozenset[int]:
+        chosen = frozenset(procs)
+        if not chosen:
+            raise AllocationError(f"job {owner}: empty specific allocation")
+        missing = [p for p in chosen if p not in self._free]
+        if missing:
+            raise AllocationError(
+                f"job {owner}: processors {sorted(missing)[:8]} not free"
+            )
+        return self._claim(chosen, owner)
+
+    def _claim(self, chosen: frozenset[int], owner: int) -> frozenset[int]:
+        for p in chosen:
+            self._owner[p] = owner
+        self._free -= chosen
+        return chosen
+
+    def release(self, procs: Iterable[int], owner: int) -> None:
+        procs = frozenset(procs)
+        for p in procs:
+            actual = self._owner.get(p)
+            if actual != owner:
+                raise AllocationError(
+                    f"release of processor {p} by job {owner}, "
+                    f"but it is owned by {actual!r}"
+                )
+        for p in procs:
+            del self._owner[p]
+        self._free |= procs
+
+
+class LegacyAvailabilityProfile(AvailabilityProfile):
+    """The pre-optimisation profile operations.
+
+    ``find_anchor`` re-walks the whole window per candidate (O(n^2));
+    ``claim`` pays two O(n) ``list.insert`` shifts per call.  Kept as
+    the measured baseline for the merged-walk/splice rewrite.
+    """
+
+    def _ensure_breakpoint(self, t: float) -> int:
+        from bisect import bisect_right
+
+        idx = bisect_right(self._times, t) - 1
+        if self._times[idx] == t:
+            return idx
+        self._times.insert(idx + 1, t)
+        self._free.insert(idx + 1, self._free[idx])
+        return idx + 1
+
+    def claim(self, start: float, duration: float, count: int) -> None:
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        if start < self.origin:
+            raise ValueError(f"claim at t={start} before origin={self.origin}")
+        end = start + duration
+        i0 = self._ensure_breakpoint(start)
+        i1 = self._ensure_breakpoint(end)
+        for i in range(i0, i1):
+            if self._free[i] < count:
+                raise ProfileError(
+                    f"claim of {count} procs over [{start}, {end}) underflows "
+                    f"at t={self._times[i]} (free={self._free[i]})"
+                )
+            self._free[i] -= count
+
+    def find_anchor(
+        self, duration: float, count: int, earliest: float | None = None
+    ) -> float:
+        if count > self.n_procs:
+            raise ProfileError(
+                f"{count} processors can never be free on a "
+                f"{self.n_procs}-proc machine"
+            )
+        start = self.origin if earliest is None else max(earliest, self.origin)
+        candidates = [start, *(t for t in self._times if t > start)]
+        for t in candidates:
+            if self.fits(t, duration, count):
+                return t
+        if self._free[-1] >= count:
+            return self._times[-1]
+        raise ProfileError(
+            f"no anchor for count={count}, duration={duration}: profile tail "
+            f"only has {self._free[-1]} free -- unterminated claim?"
+        )
 
 
 class _RecomputingPriorities(dict):
@@ -41,13 +218,14 @@ class _RecomputingPriorities(dict):
 
 
 class LegacySweepScheduler(SelectiveSuspensionScheduler):
-    """Reference SS with the naive per-access priority recomputation.
+    """Reference SS with the full pre-optimisation sweep.
 
-    Benchmark-only: pins down what the once-per-sweep priority snapshot
-    in :meth:`SelectiveSuspensionScheduler.sweep` buys, and that it buys
-    it without changing a single scheduling decision (the xfactor at a
-    fixed ``now`` is transition-invariant, so snapshot and recompute
-    agree exactly -- ``test_sweep_priority_snapshot_identical`` asserts
+    Benchmark-only: priorities recomputed per access, ``running_jobs()``
+    re-sorted inside every ``_try_start``, the pinned set rebuilt from
+    the queue on every ``_place``, and all placement done on id sets.
+    Pins down what the sweep-scoped snapshot/victim-list/pinned-mask
+    structures buy, and that they buy it without changing a single
+    scheduling decision (``test_kernel_equivalence_identical`` asserts
     the schedules match event for event).
     """
 
@@ -70,6 +248,114 @@ class LegacySweepScheduler(SelectiveSuspensionScheduler):
             else:
                 self._try_start(job, allow_suspension, priorities)
 
+    def _pinned_procs(self) -> set[int]:
+        driver = self.driver
+        assert driver is not None
+        pinned: set[int] = set()
+        for j in driver.queued_jobs():
+            if j.needs_specific_procs:
+                pinned |= j.suspended_procs
+        return pinned
+
+    def _place(self, job: Job, preferred: frozenset[int] = frozenset()) -> frozenset[int]:
+        driver = self.driver
+        assert driver is not None
+        free = driver.cluster.free_set()
+        pinned = self._pinned_procs()
+        chosen: list[int] = sorted(preferred & free)[: job.procs]
+        if len(chosen) < job.procs:
+            taken = set(chosen)
+            unpinned = sorted(free - taken - pinned)
+            chosen.extend(unpinned[: job.procs - len(chosen)])
+        if len(chosen) < job.procs:
+            taken = set(chosen)
+            rest = sorted(free - taken)
+            chosen.extend(rest[: job.procs - len(chosen)])
+        return frozenset(chosen)
+
+    def _try_start(self, job: Job, allow_suspension: bool, priorities) -> bool:
+        driver = self.driver
+        assert driver is not None
+        if driver.cluster.can_allocate(job.procs):
+            driver.start_job(job, procs=self._place(job))
+            return True
+        if not allow_suspension:
+            return False
+        free = driver.cluster.free_count
+        candidates: list[Job] = []
+        covered = free
+        for victim in sorted(
+            driver.running_jobs(),
+            key=lambda r: (priorities[r.job_id], r.job_id),
+        ):
+            if covered >= job.procs:
+                break
+            victim_priority = priorities[victim.job_id]
+            width = len(victim.allocated_procs)
+            if not self.victim_preemptable(victim, driver.now, victim_priority):
+                continue
+            if not self.criteria.priority_allows(
+                priorities[job.job_id], victim_priority
+            ):
+                continue
+            if not self.criteria.width_allows(job.procs, width, reentry=False):
+                continue
+            candidates.append(victim)
+            covered += width
+        if covered < job.procs:
+            return False
+        chosen: list[Job] = []
+        covered_free = free
+        for victim in sorted(
+            candidates, key=lambda c: (-len(c.allocated_procs), c.job_id)
+        ):
+            if covered_free >= job.procs:
+                break
+            chosen.append(victim)
+            covered_free += len(victim.allocated_procs)
+        freed: set[int] = set()
+        for victim in chosen:
+            freed |= victim.allocated_procs
+            driver.suspend_job(victim, preemptor=job.job_id)
+        driver.start_job(job, procs=self._place(job, preferred=frozenset(freed)))
+        return True
+
+    def _try_resume(self, job: Job, allow_suspension: bool, priorities) -> bool:
+        driver = self.driver
+        assert driver is not None
+        needed = job.suspended_procs
+        if driver.cluster.can_allocate_specific(needed):
+            driver.start_job(job)
+            return True
+        if not allow_suspension:
+            return False
+        idle_priority = priorities[job.job_id]
+        owner_ids = driver.cluster.owners_overlapping(needed)
+        owners = sorted(
+            (r for r in driver.running_jobs() if r.job_id in owner_ids),
+            key=lambda r: r.job_id,
+        )
+        if len(owners) != len(owner_ids):  # pragma: no cover - defensive
+            return False
+        for victim in owners:
+            victim_priority = priorities[victim.job_id]
+            if not self.victim_preemptable(victim, driver.now, victim_priority):
+                return False
+            if not self.criteria.priority_allows(idle_priority, victim_priority):
+                return False
+        for victim in owners:
+            driver.suspend_job(victim, preemptor=job.job_id)
+        if driver.cluster.can_allocate_specific(needed):
+            driver.start_job(job)
+            return True
+        return False  # pragma: no cover - owners covered all of `needed`
+
+
+def run_sim_legacy(jobs, scheduler, n_procs):
+    """run_sim twin on the full legacy kernel (LegacyCluster)."""
+    driver = SchedulingSimulation(cluster=LegacyCluster(n_procs), scheduler=scheduler)
+    return driver.run(jobs)
+
 
 def _schedule_signature(result):
     """Every externally observable per-job outcome, for exact equality."""
@@ -84,6 +370,9 @@ def _schedule_signature(result):
     ]
 
 
+# ----------------------------------------------------------------------
+# substrate micro-benches
+# ----------------------------------------------------------------------
 def test_event_queue_push_pop(benchmark):
     def run():
         q = EventQueue()
@@ -107,28 +396,56 @@ def test_event_queue_with_cancellation(benchmark):
     benchmark(run)
 
 
+def _profile_workload(profile_cls):
+    p = profile_cls(430, origin=0.0)
+    for i in range(300):
+        width = 8 + (i * 7) % 48
+        anchor = p.find_anchor(100.0 + (i % 60), width)
+        p.claim(anchor, 100.0 + (i % 60), width)
+    return p
+
+
 def test_profile_claim_and_anchor(benchmark):
-    def run():
-        p = AvailabilityProfile(430, origin=0.0)
-        for i in range(60):
-            anchor = p.find_anchor(100.0 + i, 16)
-            p.claim(anchor, 100.0 + i, 16)
-
-    benchmark(run)
+    benchmark(_profile_workload, AvailabilityProfile)
 
 
-def test_cluster_allocate_release(benchmark):
-    def run():
-        c = Cluster(430)
+def test_profile_claim_and_anchor_legacy(benchmark):
+    """The O(n^2) rescan + insert-churn profile, same workload."""
+    benchmark(_profile_workload, LegacyAvailabilityProfile)
+
+
+def test_profile_ops_identical():
+    """Merged-walk anchors and spliced claims change cost, not plans."""
+    fast = _profile_workload(AvailabilityProfile)
+    slow = _profile_workload(LegacyAvailabilityProfile)
+    assert fast.breakpoints() == slow.breakpoints()
+
+
+def _cluster_workload(cluster_cls):
+    c = cluster_cls(430)
+    for round_ in range(50):
         held = []
         for i in range(100):
             held.append((i, c.allocate(4, owner=i)))
         for owner, procs in held:
             c.release(procs, owner)
+    return c
 
-    benchmark(run)
+
+def test_cluster_allocate_release(benchmark):
+    c = benchmark(_cluster_workload, Cluster)
+    assert c.free_count == 430
 
 
+def test_cluster_allocate_release_legacy(benchmark):
+    """The set/dict cluster, same allocate/release workload."""
+    c = benchmark(_cluster_workload, LegacyCluster)
+    assert c.free_count == 430
+
+
+# ----------------------------------------------------------------------
+# end-to-end simulation rate
+# ----------------------------------------------------------------------
 def test_simulation_rate_easy(benchmark):
     def run():
         return run_sim(fresh_copies(JOBS_SDSC), EasyBackfillScheduler(), n_procs=128)
@@ -158,13 +475,11 @@ def test_simulation_rate_ss_null_recorder(benchmark):
     ``if tracer is not None`` guards.  Compare the two benches in the
     same run; the gap stays within the noise floor (<2% measured).
     """
-    from repro.cluster.machine import Cluster as _Cluster
     from repro.obs import NULL_RECORDER
-    from repro.sim.driver import SchedulingSimulation
 
     def run():
         driver = SchedulingSimulation(
-            cluster=_Cluster(128),
+            cluster=Cluster(128),
             scheduler=SelectiveSuspensionScheduler(suspension_factor=2.0),
             recorder=NULL_RECORDER,
         )
@@ -176,16 +491,16 @@ def test_simulation_rate_ss_null_recorder(benchmark):
 
 
 def test_simulation_rate_ss_legacy_sweep(benchmark):
-    """The pre-optimisation sweep, for comparison with the case above.
+    """The full pre-optimisation kernel on the same SDSC trace.
 
     Compare this bench's time against ``test_simulation_rate_ss`` in
-    the same run: the gap is exactly what the once-per-sweep priority
-    snapshot saves (it widens with congestion -- rerun with a larger
-    trace to see the quadratic term take over).
+    the same run: the gap is what the bitmask cluster plus the
+    sweep-scoped snapshot/victim-list/pinned-mask structures save (it
+    widens with congestion -- see the ``*_congested`` pair).
     """
 
     def run():
-        return run_sim(
+        return run_sim_legacy(
             fresh_copies(JOBS_SDSC),
             LegacySweepScheduler(suspension_factor=2.0),
             n_procs=128,
@@ -195,12 +510,67 @@ def test_simulation_rate_ss_legacy_sweep(benchmark):
     assert len(result.jobs) == len(JOBS_SDSC)
 
 
+def test_simulation_rate_ss_congested(benchmark):
+    """SS on the overloaded trace where the quadratic terms dominated."""
+
+    def run():
+        return run_sim(
+            fresh_copies(JOBS_CONGESTED),
+            SelectiveSuspensionScheduler(suspension_factor=2.0),
+            n_procs=128,
+        )
+
+    result = benchmark(run)
+    assert len(result.jobs) == len(JOBS_CONGESTED)
+
+
+def test_simulation_rate_ss_congested_legacy(benchmark):
+    """The legacy kernel on the same overloaded trace."""
+
+    def run():
+        return run_sim_legacy(
+            fresh_copies(JOBS_CONGESTED),
+            LegacySweepScheduler(suspension_factor=2.0),
+            n_procs=128,
+        )
+
+    result = benchmark(run)
+    assert len(result.jobs) == len(JOBS_CONGESTED)
+
+
+# ----------------------------------------------------------------------
+# decision equivalence: the speedups change cost, never the schedule
+# ----------------------------------------------------------------------
+def test_kernel_equivalence_identical():
+    """Optimised kernel == full legacy kernel, decision for decision.
+
+    Runs the bitmask-cluster/incremental-sweep kernel and the complete
+    legacy reference (set cluster + naive sweep) over the same traces
+    and asserts per-job start/finish/suspension equality plus the
+    aggregate counters.  This is the in-run witness behind every
+    speedup ratio ``tools/bench_gate.py`` reports.
+    """
+    for jobs in (JOBS_SDSC, JOBS_CONGESTED):
+        fast = run_sim(
+            fresh_copies(jobs),
+            SelectiveSuspensionScheduler(suspension_factor=2.0),
+            n_procs=128,
+        )
+        slow = run_sim_legacy(
+            fresh_copies(jobs),
+            LegacySweepScheduler(suspension_factor=2.0),
+            n_procs=128,
+        )
+        assert _schedule_signature(fast) == _schedule_signature(slow)
+        assert fast.total_suspensions == slow.total_suspensions
+        assert fast.makespan == slow.makespan
+
+
 def test_sweep_priority_snapshot_identical():
     """The snapshot optimisation changes cost, not decisions.
 
-    Runs the optimised and legacy sweeps over the same congested trace
-    and asserts per-job start/finish/suspension equality, plus the
-    aggregate event and suspension counters.
+    The original PR-1 witness, retained: optimised sweep vs the naive
+    recomputing sweep on the *same* (bitmask) cluster.
     """
     fast = run_sim(
         fresh_copies(JOBS_SDSC),

@@ -17,6 +17,8 @@ import random
 from abc import ABC, abstractmethod
 from typing import Iterable
 
+from repro.cluster.bitset import lowest_bits, mask_from_ids, mask_to_ids
+
 
 class AllocationPolicy(ABC):
     """Strategy interface: pick ``count`` processors from the free pool."""
@@ -28,6 +30,16 @@ class AllocationPolicy(ABC):
         Implementations must be pure with respect to the free pool: they
         select ids but never mutate cluster state.
         """
+
+    def select_mask(self, free_mask: int, count: int) -> int:
+        """Mask-level entry point used by the bitmask :class:`Cluster`.
+
+        The default adapts :meth:`select`: the free pool is handed over
+        as an ascending id tuple (exactly what ``sorted(free)`` used to
+        produce), so legacy policies keep byte-identical decisions.
+        Hot-path policies override this to stay in mask space.
+        """
+        return mask_from_ids(self.select(mask_to_ids(free_mask), count))
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
@@ -42,6 +54,11 @@ class LowestIdFirst(AllocationPolicy):
 
     def select(self, free: Iterable[int], count: int) -> frozenset[int]:
         return frozenset(sorted(free)[:count])
+
+    def select_mask(self, free_mask: int, count: int) -> int:
+        # lowest-id-first == lowest set bits: O(count) bit extraction,
+        # no sort, identical choice to sorted(free)[:count]
+        return lowest_bits(free_mask, count)
 
 
 class RandomAllocation(AllocationPolicy):

@@ -32,8 +32,10 @@ overrides.
 
 from __future__ import annotations
 
+from bisect import insort
 from typing import Any
 
+from repro.cluster.bitset import iter_bits, mask_from_ids, take_lowest
 from repro.core.priorities import PreemptionCriteria, suspension_priority
 from repro.obs.events import victim_verdict
 from repro.schedulers.base import Scheduler
@@ -97,6 +99,24 @@ class SelectiveSuspensionScheduler(Scheduler):
         )
         self.timer_interval = float(preemption_interval)
         self.name = f"SS(SF={suspension_factor:g})"
+        # -- sweep-scoped scratch state ---------------------------------
+        # Valid only while sweep() is on the stack; see sweep() for the
+        # invalidation protocol.  Buffers are instance-level so repeated
+        # sweeps reuse the same allocations instead of rebuilding them
+        # per idle job (the old quadratic term in congested queues).
+        self._sweep_active = False
+        self._sweep_suspension = False
+        #: mask of processors some suspended job must reacquire; kept
+        #: current across mid-sweep suspends (|=) and resumes (&= ~)
+        self._sweep_pinned = 0
+        #: running victims as (priority, job_id, Job), ascending -- built
+        #: once per suspension sweep, extended by insort on mid-sweep
+        #: starts, lazily invalidated through _sweep_dead on suspends
+        self._sweep_victims: list[tuple[float, int, Job]] = []
+        #: job ids suspended mid-sweep (membership tests only)
+        self._sweep_dead: set[int] = set()
+        self._scratch_candidates: list[Job] = []
+        self._scratch_chosen: list[Job] = []
 
     # ------------------------------------------------------------------
     # hooks
@@ -130,65 +150,152 @@ class SelectiveSuspensionScheduler(Scheduler):
         ``suspension_priority`` O(queue x running) times per sweep
         inside sort keys and per-victim filters -- the dominant cost of
         congested simulations (see ``benchmarks/bench_micro.py``).
+
+        Two more sweep-scoped structures extend the same idea to the
+        remaining quadratic terms.  The **victim list** is sorted once
+        per suspension sweep (ascending ``(priority, job_id)``, the
+        per-victim walk order) instead of re-sorting ``running_jobs()``
+        inside every :meth:`_try_start`; jobs started mid-sweep are
+        insort-ed in, jobs suspended mid-sweep are lazily skipped via a
+        dead set -- both preserve the exact order the per-call sort
+        produced, because ``(priority, job_id)`` is a total order over
+        an identical membership.  The **pinned mask** (processors
+        suspended jobs must reacquire) is snapshotted at sweep entry and
+        updated incrementally: a suspend pins the victim's processors,
+        a resume unpins the job's -- the only two events that can change
+        it mid-sweep -- replacing the per-:meth:`_place` rescan of the
+        whole queue.
         """
         driver = self.driver
         assert driver is not None
-        now = driver.now
+        if not allow_suspension and not driver.cluster.free_mask:
+            # Decision-equivalent fast path: without suspension, every
+            # start (can_allocate) and resume (can_allocate_mask on a
+            # nonempty set) needs at least one free processor, and a
+            # no-suspension sweep has no other observable effect -- the
+            # full walk would deny every job and emit nothing.
+            return
         queued = driver.queued_jobs()
+        if not queued:
+            # Nothing to start or resume: the idle walk is empty and a
+            # sweep has no other observable effect.  Most timer sweeps
+            # on moderately loaded traces hit this, so skipping the
+            # victim-list build and priority snapshot here is the
+            # cheapest win in the whole kernel.
+            return
+        now = driver.now
         priorities = {j.job_id: suspension_priority(j, now) for j in queued}
+        victims = self._sweep_victims
+        victims.clear()
+        self._sweep_dead.clear()
         if allow_suspension:
             # victims come from the running set; a job started earlier in
             # this sweep was queued at sweep start and is already present
             for r in driver.running_jobs():
-                priorities[r.job_id] = suspension_priority(r, now)
-        idle = sorted(
-            queued,
-            key=lambda j: (-priorities[j.job_id], j.submit_time, j.job_id),
-        )
-        for job in idle:
-            if job.needs_specific_procs:
-                self._try_resume(job, allow_suspension, priorities)
-            else:
-                self._try_start(job, allow_suspension, priorities)
+                p = suspension_priority(r, now)
+                priorities[r.job_id] = p
+                victims.append((p, r.job_id, r))
+            victims.sort()
+        pinned = 0
+        for j in queued:
+            pinned |= j.suspended_mask  # 0 unless awaiting local resume
+        self._sweep_pinned = pinned
+        self._sweep_suspension = allow_suspension
+        self._sweep_active = True
+        try:
+            idle = sorted(
+                queued,
+                key=lambda j: (-priorities[j.job_id], j.submit_time, j.job_id),
+            )
+            for job in idle:
+                if not allow_suspension and not driver.cluster.free_mask:
+                    break  # same argument as above, mid-sweep
+                if job.needs_specific_procs:
+                    self._try_resume(job, allow_suspension, priorities)
+                else:
+                    self._try_start(job, allow_suspension, priorities)
+        finally:
+            self._sweep_active = False
+            victims.clear()
+            self._sweep_dead.clear()
+
+    # ------------------------------------------------------------------
+    # sweep-scoped bookkeeping
+    # ------------------------------------------------------------------
+    def _note_started(self, job: Job, priorities: dict[int, float]) -> None:
+        """A queued job entered running mid-sweep: it is now a potential
+        victim for later idle jobs, exactly as the old per-call re-sort
+        would have picked it up."""
+        if self._sweep_active and self._sweep_suspension:
+            insort(self._sweep_victims, (priorities[job.job_id], job.job_id, job))
+
+    def _note_resumed(
+        self, job: Job, needed_mask: int, priorities: dict[int, float]
+    ) -> None:
+        """A suspended job resumed mid-sweep: its processors unpin."""
+        if self._sweep_active:
+            self._sweep_pinned &= ~needed_mask
+            self._note_started(job, priorities)
+
+    def _note_suspended(self, victim: Job, released_mask: int) -> None:
+        """A running job was suspended mid-sweep: its processors pin and
+        it leaves the victim list (lazily, via the dead set)."""
+        if self._sweep_active:
+            self._sweep_pinned |= released_mask
+            self._sweep_dead.add(victim.job_id)
 
     # ------------------------------------------------------------------
     # fresh starts (pseudocode path suspend_jobs_1)
     # ------------------------------------------------------------------
-    def _pinned_procs(self) -> set[int]:
-        """Processors some suspended job must reacquire to resume."""
+    def _pinned_mask(self) -> int:
+        """Mask of processors some suspended job must reacquire to resume.
+
+        Recomputed from the queue; during a sweep the maintained
+        ``_sweep_pinned`` snapshot is used instead (same value, O(1)).
+        """
         driver = self.driver
         assert driver is not None
-        pinned: set[int] = set()
+        pinned = 0
         for j in driver.queued_jobs():
-            if j.needs_specific_procs:
-                pinned |= j.suspended_procs
+            pinned |= j.suspended_mask  # 0 unless awaiting local resume
         return pinned
 
+    def _pinned_procs(self) -> set[int]:
+        """Processors some suspended job must reacquire to resume."""
+        return set(iter_bits(self._pinned_mask()))
+
     def _place(self, job: Job, preferred: frozenset[int] = frozenset()) -> frozenset[int]:
+        """Choose processors for a fresh start (id-set facade over
+        :meth:`_place_mask`, kept for tests and subclasses)."""
+        return frozenset(iter_bits(self._place_mask(job, mask_from_ids(preferred))))
+
+    def _place_mask(self, job: Job, preferred_mask: int = 0) -> int:
         """Choose processors for a fresh start.
 
-        Priority order: (1) *preferred* (the just-suspended victims'
+        Priority order: (1) *preferred_mask* (the just-suspended victims'
         processors, per the pseudocode's ``available_processor_set`` --
         so a victim unpins the moment its preemptor finishes), (2) free
         processors no suspended job is waiting for, (3) the rest.
         Skipping pinned processors where possible keeps suspended jobs'
         resume sets clear, which is what lets SS hold NS-level
         utilisation under load.
+
+        Each tier takes the lowest free ids it can -- identical choices
+        to the old ``sorted(tier)[:remaining]`` on id sets, because the
+        lowest set bits of a mask *are* the sorted prefix.
         """
         driver = self.driver
         assert driver is not None
-        free = driver.cluster.free_set()
-        pinned = self._pinned_procs()
-        chosen: list[int] = sorted(preferred & free)[: job.procs]
-        if len(chosen) < job.procs:
-            taken = set(chosen)
-            unpinned = sorted(free - taken - pinned)
-            chosen.extend(unpinned[: job.procs - len(chosen)])
-        if len(chosen) < job.procs:
-            taken = set(chosen)
-            rest = sorted(free - taken)
-            chosen.extend(rest[: job.procs - len(chosen)])
-        return frozenset(chosen)
+        free = driver.cluster.free_mask
+        pinned = self._sweep_pinned if self._sweep_active else self._pinned_mask()
+        chosen = take_lowest(preferred_mask & free, job.procs)
+        n = chosen.bit_count()
+        if n < job.procs:
+            chosen |= take_lowest(free & ~chosen & ~pinned, job.procs - n)
+            n = chosen.bit_count()
+        if n < job.procs:
+            chosen |= take_lowest(free & ~chosen, job.procs - n)
+        return chosen
 
     def _try_start(
         self, job: Job, allow_suspension: bool, priorities: dict[int, float]
@@ -197,6 +304,7 @@ class SelectiveSuspensionScheduler(Scheduler):
         assert driver is not None
         if driver.cluster.can_allocate(job.procs):
             driver.start_job(job, procs=self._place(job))
+            self._note_started(job, priorities)
             return True
         if not allow_suspension:
             return False
@@ -205,19 +313,23 @@ class SelectiveSuspensionScheduler(Scheduler):
         tracer = driver.tracer
         idle_priority = priorities[job.job_id]
         free = driver.cluster.free_count
-        candidates: list[Job] = []
+        candidates = self._scratch_candidates
+        candidates.clear()
         #: per-victim verdicts, built only when tracing is on (decision
         #: records are the one place per-victim reasoning is preserved)
         verdicts: list[dict[str, Any]] | None = [] if tracer is not None else None
         covered = free  # free + candidate processors
+        dead = self._sweep_dead
         # Victims in ascending priority: cheapest (least entitled) first.
-        for victim in sorted(
-            driver.running_jobs(),
-            key=lambda r: (priorities[r.job_id], r.job_id),
-        ):
+        # The sweep-sorted list replaces the old per-call
+        # ``sorted(driver.running_jobs(), key=(priority, job_id))``:
+        # same membership (insort on mid-sweep starts, dead set on
+        # mid-sweep suspends), same total order.
+        for victim_priority, victim_id, victim in self._sweep_victims:
             if covered >= job.procs:
                 break
-            victim_priority = priorities[victim.job_id]
+            if victim_id in dead:
+                continue
             width = len(victim.allocated_procs)
             if not self.victim_preemptable(victim, now, victim_priority):
                 if verdicts is not None:
@@ -276,7 +388,8 @@ class SelectiveSuspensionScheduler(Scheduler):
         # set is fixed *before* any suspension -- free_count only changes
         # through our own suspends, so precomputing it is equivalent and
         # lets the decision record precede the suspend events it causes.
-        chosen: list[Job] = []
+        chosen = self._scratch_chosen
+        chosen.clear()
         covered_free = free
         for victim in sorted(
             candidates, key=lambda c: (-len(c.allocated_procs), c.job_id)
@@ -298,14 +411,18 @@ class SelectiveSuspensionScheduler(Scheduler):
                 suspended=[v.job_id for v in chosen],
                 victims=verdicts,
             )
-        freed: set[int] = set()
+        freed_mask = 0
         for victim in chosen:
-            freed |= victim.allocated_procs
+            released = driver.cluster.owner_mask(victim.job_id)
+            freed_mask |= released
             driver.suspend_job(victim, preemptor=job.job_id)
+            self._note_suspended(victim, released)
         # run the preemptor on its victims' processors (the pseudocode's
         # available_processor_set) so each victim's resume set clears
         # when the preemptor finishes
-        driver.start_job(job, procs=self._place(job, preferred=frozenset(freed)))
+        placed = self._place_mask(job, preferred_mask=freed_mask)
+        driver.start_job(job, procs=frozenset(iter_bits(placed)))
+        self._note_started(job, priorities)
         return True
 
     # ------------------------------------------------------------------
@@ -316,9 +433,10 @@ class SelectiveSuspensionScheduler(Scheduler):
     ) -> bool:
         driver = self.driver
         assert driver is not None
-        needed = job.suspended_procs
-        if driver.cluster.can_allocate_specific(needed):
+        needed_mask = job.suspended_mask  # cached at suspension time
+        if driver.cluster.can_allocate_mask(needed_mask):
             driver.start_job(job)
+            self._note_resumed(job, needed_mask, priorities)
             return True
         if not allow_suspension:
             return False
@@ -326,18 +444,17 @@ class SelectiveSuspensionScheduler(Scheduler):
         now = driver.now
         tracer = driver.tracer
         idle_priority = priorities[job.job_id]
-        owner_ids = driver.cluster.owners_overlapping(needed)
         # sorted for determinism: both the verdict-list order and the
         # reported primary blocking cause must reproduce run to run
         # (traces are byte-identical for identical inputs --
         # docs/TRACING.md), so the order is pinned to job ids rather
-        # than to whatever order running_jobs() happens to return.
-        owners = sorted(
-            (r for r in driver.running_jobs() if r.job_id in owner_ids),
-            key=lambda r: r.job_id,
-        )
-        if len(owners) != len(owner_ids):  # pragma: no cover - defensive
-            return False
+        # than to whatever order the owners are discovered in.
+        owners: list[Job] = []
+        for owner_id in sorted(driver.cluster.owners_in_mask(needed_mask)):
+            owner = driver.running_job(owner_id)
+            if owner is None:  # pragma: no cover - defensive
+                return False
+            owners.append(owner)
         # Every squatter must clear the SF threshold (no width rule on
         # re-entry); one protected occupant blocks the whole resume.
         # When tracing, keep walking past the first blocker so the
@@ -395,10 +512,13 @@ class SelectiveSuspensionScheduler(Scheduler):
                 suspended=sorted(o.job_id for o in owners),
                 victims=verdicts,
             )
-        for victim in sorted(owners, key=lambda o: o.job_id):
+        for victim in owners:  # already ascending by job id
+            released = driver.cluster.owner_mask(victim.job_id)
             driver.suspend_job(victim, preemptor=job.job_id)
-        if driver.cluster.can_allocate_specific(needed):
+            self._note_suspended(victim, released)
+        if driver.cluster.can_allocate_mask(needed_mask):
             driver.start_job(job)
+            self._note_resumed(job, needed_mask, priorities)
             return True
         return False  # pragma: no cover - owners covered all of `needed`
 

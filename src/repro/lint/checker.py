@@ -24,8 +24,12 @@ from typing import ClassVar, Iterator
 from repro.lint.findings import Finding
 
 #: matches decision-path directories at any depth of the relpath, so the
-#: same rule scoping works for ``src/repro`` roots and test fixtures
-DECISION_PATH_RE = re.compile(r"(^|/)(core|schedulers|sim)/")
+#: same rule scoping works for ``src/repro`` roots and test fixtures.
+#: ``cluster/`` joined the patrol in PR 4: allocation policy choices are
+#: schedule-steering, and the bitmask kernel's mask-iteration helpers
+#: (``iter_bits``/``mask_to_ids``, ascending-by-construction) are the
+#: sanctioned way to walk processor sets there.
+DECISION_PATH_RE = re.compile(r"(^|/)(cluster|core|schedulers|sim)/")
 
 
 class FileContext:

@@ -17,9 +17,12 @@ from repro.lint.checker import Checker
 # RPR001 -- unordered iteration in decision paths
 # ----------------------------------------------------------------------
 
-#: consumers for which element order provably cannot leak into results
+#: consumers for which element order provably cannot leak into results.
+#: ``mask_from_ids`` (repro.cluster.bitset) folds ids into a bitmask by
+#: OR -- commutative, so hash order cannot reach the result.
 _ORDER_INSENSITIVE_CALLS = frozenset(
-    {"sorted", "sum", "len", "min", "max", "any", "all", "set", "frozenset"}
+    {"sorted", "sum", "len", "min", "max", "any", "all", "set", "frozenset",
+     "mask_from_ids"}
 )
 
 #: wrappers that materialise iteration order into an ordered value
@@ -35,11 +38,19 @@ class UnorderedIterationChecker(Checker):
 
     The exact bug shape of the PR-2 ``_try_resume`` fix: walking a
     ``set``/``frozenset`` (or a dict view whose insertion order derives
-    from one) inside ``core/``, ``schedulers/`` or ``sim/`` without an
-    enclosing ``sorted(...)``.  Order-insensitive folds (``sum``,
-    ``len``, ``any``, ``min``/``max``, rebuilding a ``set``) pass; a
-    plain ``for``, a list/dict comprehension, ``list()`` / ``tuple()``
-    / ``enumerate()`` do not.
+    from one) inside ``cluster/``, ``core/``, ``schedulers/`` or
+    ``sim/`` without an enclosing ``sorted(...)``.  Order-insensitive
+    folds (``sum``, ``len``, ``any``, ``min``/``max``, rebuilding a
+    ``set``, ``mask_from_ids``'s commutative OR) pass; a plain ``for``,
+    a list/dict comprehension, ``list()`` / ``tuple()`` /
+    ``enumerate()`` do not.
+
+    The bitmask kernel's mask-iteration helpers
+    (:func:`repro.cluster.bitset.iter_bits` / ``mask_to_ids``) are the
+    sanctioned replacement inside the patrolled paths: they walk an
+    *integer* lowest-bit-first, so their order is ascending by
+    construction and never touches hash order.  The rule does not flag
+    them because they are not set-typed -- iterate masks, not sets.
     """
 
     rule: ClassVar[str] = "RPR001"

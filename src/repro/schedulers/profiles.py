@@ -8,16 +8,21 @@ step function ``free(t)`` on ``[origin, inf)``.
 
 The representation is a sorted list of ``[time, free]`` breakpoints; the
 value applies from the breakpoint up to the next one, and the final
-breakpoint extends to infinity.  Lookups bisect (O(log n)); claims
-insert at most two breakpoints and decrement a contiguous range (O(n));
-anchor search scans windows (O(n^2) worst case).  Profiles are rebuilt
-per scheduling pass from live state, so n stays at (running jobs +
-queued reservations), which is small for the paper's machines.
+breakpoint extends to infinity.  Lookups bisect (O(log n)); a claim
+rewrites the affected run of breakpoints with one slice splice (a single
+memmove instead of two ``list.insert`` shifts); anchor search is one
+merged breakpoint walk carrying a sliding-window minimum (O(n) per
+anchor, down from the O(n^2) candidates-times-rescan form -- the legacy
+reference survives in ``benchmarks/bench_micro.py``).  EASY and
+conservative backfilling rebuild a profile every scheduling pass, so
+these two operations bound the whole backfill family's cost once queues
+congest.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_right
+from collections import deque
 
 
 class ProfileError(RuntimeError):
@@ -84,17 +89,15 @@ class AvailabilityProfile:
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
-    def _ensure_breakpoint(self, t: float) -> int:
-        """Make *t* a breakpoint; return its index."""
-        idx = bisect_right(self._times, t) - 1
-        if self._times[idx] == t:
-            return idx
-        self._times.insert(idx + 1, t)
-        self._free.insert(idx + 1, self._free[idx])
-        return idx + 1
-
     def claim(self, start: float, duration: float, count: int) -> None:
         """Reserve *count* processors over ``[start, start + duration)``.
+
+        The affected run of breakpoints is rewritten with one slice
+        assignment per list: at most one segment shift regardless of how
+        many breakpoints the window spans, where the old
+        ensure-breakpoint form paid two O(n) ``list.insert`` shifts per
+        claim.  Validation is all-or-nothing -- an underflow raises
+        before any breakpoint changes.
 
         Raises
         ------
@@ -110,15 +113,34 @@ class AvailabilityProfile:
         if start < self.origin:
             raise ValueError(f"claim at t={start} before origin={self.origin}")
         end = start + duration
-        i0 = self._ensure_breakpoint(start)
-        i1 = self._ensure_breakpoint(end)
-        for i in range(i0, i1):
-            if self._free[i] < count:
+        times = self._times
+        free = self._free
+        i = bisect_right(times, start) - 1
+        j = bisect_right(times, end, lo=i) - 1  # segment containing `end`
+        # segments [i, last] lose `count`; segment j is untouched when a
+        # breakpoint already sits exactly at `end`
+        last = j - 1 if times[j] == end else j
+        for k in range(i, last + 1):
+            if free[k] < count:
                 raise ProfileError(
                     f"claim of {count} procs over [{start}, {end}) underflows "
-                    f"at t={self._times[i]} (free={self._free[i]})"
+                    f"at t={times[k]} (free={free[k]})"
                 )
-            self._free[i] -= count
+        new_times: list[float] = []
+        new_free: list[int] = []
+        if times[i] < start:
+            new_times.append(times[i])  # unchanged head of segment i
+            new_free.append(free[i])
+        new_times.append(start)
+        new_free.append(free[i] - count)
+        for k in range(i + 1, last + 1):
+            new_times.append(times[k])
+            new_free.append(free[k] - count)
+        if times[j] < end:
+            new_times.append(end)  # tail of segment j reverts past `end`
+            new_free.append(free[j])
+        times[i : last + 1] = new_times
+        free[i : last + 1] = new_free
 
     def claim_running(self, count: int, until: float) -> None:
         """Account a currently running job: *count* procs busy until *until*."""
@@ -146,18 +168,49 @@ class AvailabilityProfile:
                 f"{count} processors can never be free on a {self.n_procs}-proc machine"
             )
         start = self.origin if earliest is None else max(earliest, self.origin)
-        candidates = [start, *(t for t in self._times if t > start)]
-        for t in candidates:
-            if self.fits(t, duration, count):
-                return t
+        times = self._times
+        free = self._free
+        n = len(times)
+        # Single merged walk over the breakpoints.  Candidates are
+        # visited in time order; the window minimum over the segments a
+        # candidate's window covers is carried in a monotonic deque of
+        # segment indices with strictly increasing free values.  Both
+        # window edges only ever advance, so every segment is pushed and
+        # popped at most once: O(n) total, versus the old
+        # candidates-times-`fits` rescan which re-walked the window from
+        # scratch for every candidate (O(n^2) on congested profiles).
+        anchor_idx = bisect_right(times, start) - 1  # segment containing candidate
+        push_idx = anchor_idx  # next segment to enter the window
+        window: deque[int] = deque()
+        candidate = start
+        while True:
+            window_end = candidate + duration
+            while push_idx < n and times[push_idx] < window_end:
+                while window and free[window[-1]] >= free[push_idx]:
+                    window.pop()
+                window.append(push_idx)
+                push_idx += 1
+            while window and window[0] < anchor_idx:
+                window.popleft()
+            # For any positive duration the candidate's own segment is in
+            # the window, so the deque head is the window minimum.  An
+            # empty deque only happens for degenerate durations <= 0,
+            # where the legacy fits() degraded to a point query.
+            lowest = free[window[0]] if window else free[anchor_idx]
+            if lowest >= count:
+                return candidate
+            anchor_idx += 1
+            if anchor_idx >= n:
+                break
+            candidate = times[anchor_idx]
         # Last resort: after every breakpoint the free count is the final
         # value; if even that is insufficient a claim was never released,
         # which is a planner bug.
-        if self._free[-1] >= count:
-            return self._times[-1]
+        if free[-1] >= count:  # pragma: no cover - tail candidate succeeds first
+            return times[-1]
         raise ProfileError(
             f"no anchor for count={count}, duration={duration}: profile tail "
-            f"only has {self._free[-1]} free -- unterminated claim?"
+            f"only has {free[-1]} free -- unterminated claim?"
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -245,6 +245,11 @@ class SchedulingSimulation:
         # repro-lint: disable=RPR001 -- int-keyed dict filled at dispatch; insertion order is deterministic by construction
         return list(self._running.values())
 
+    def running_job(self, job_id: int) -> Job | None:
+        """The running job with *job_id*, or ``None`` -- O(1) lookup so
+        schedulers can resolve processor owners without scanning."""
+        return self._running.get(job_id)
+
     @property
     def queue_length(self) -> int:
         return len(self._queued)

@@ -38,6 +38,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
+from repro.cluster.bitset import mask_from_ids
+
 
 class JobState(Enum):
     """Lifecycle states of a job."""
@@ -102,6 +104,11 @@ class Job:
     #: reacquire exactly this set (local preemption).  Empty if never
     #: suspended or currently running.
     suspended_procs: frozenset[int] = field(default_factory=frozenset, repr=False)
+    #: bitmask twin of :attr:`suspended_procs`, maintained in lockstep by
+    #: the ``mark_*`` transitions.  Schedulers probe resume feasibility
+    #: against the cluster's free bitmask on every sweep; caching the
+    #: mask here makes that probe O(words) with no per-proc conversion.
+    suspended_mask: int = field(default=0, repr=False)
     #: number of times the job has been suspended
     suspension_count: int = field(default=0, repr=False)
     #: number of times a speculative run of the job was killed
@@ -229,6 +236,7 @@ class Job:
         self.state = JobState.RUNNING
         self.allocated_procs = procs
         self.suspended_procs = frozenset()
+        self.suspended_mask = 0
         if self.first_start_time is None:
             self.first_start_time = now
 
@@ -238,6 +246,7 @@ class Job:
         self._advance_clocks(now)
         self.state = JobState.QUEUED
         self.suspended_procs = self.allocated_procs
+        self.suspended_mask = mask_from_ids(self.suspended_procs)
         self.allocated_procs = frozenset()
         self.suspension_count += 1
         self.epoch += 1
@@ -260,6 +269,7 @@ class Job:
         self.state = JobState.QUEUED
         self.allocated_procs = frozenset()
         self.suspended_procs = frozenset()
+        self.suspended_mask = 0
         self.remaining_useful = self.run_time
         self.pending_overhead = 0.0
         self.kill_count += 1

@@ -71,6 +71,45 @@ def test_release_wrong_owner_raises():
         c.release(procs, owner=2)
 
 
+def test_release_partial_ownership_leaves_state_untouched():
+    """All-or-nothing release: a request mixing owned and foreign
+    processors must fail *before* any state changes, not after freeing
+    the owned half (regression test for the single-pass rewrite)."""
+    c = Cluster(8)
+    mine = c.allocate_specific({0, 1}, owner=1)
+    c.allocate_specific({2, 3}, owner=2)
+    with pytest.raises(AllocationError, match="owned by"):
+        c.release({1, 2}, owner=1)  # proc 1 is owner 1's, proc 2 is not
+    # nothing moved: both allocations intact, free pool unchanged
+    assert c.free_count == 4
+    assert c.owner_of(1) == 1
+    assert c.owner_of(2) == 2
+    assert c.owner_mask(1) == 0b0011
+    assert c.owner_mask(2) == 0b1100
+    c.check_invariants()
+    # the legitimate release still works afterwards
+    c.release(mine, owner=1)
+    assert c.free_count == 6
+
+
+def test_release_mix_with_free_processor_leaves_state_untouched():
+    c = Cluster(8)
+    c.allocate_specific({0, 1}, owner=1)
+    with pytest.raises(AllocationError, match="owned by None"):
+        c.release({1, 5}, owner=1)  # proc 5 is free
+    assert c.free_count == 6
+    assert c.owner_of(1) == 1
+    c.check_invariants()
+
+
+def test_release_empty_request_is_noop():
+    c = Cluster(8)
+    c.allocate(2, owner=1)
+    c.release(set(), owner=1)
+    assert c.free_count == 6
+    c.check_invariants()
+
+
 def test_double_release_raises():
     c = Cluster(8)
     procs = c.allocate(2, owner=1)
@@ -200,3 +239,92 @@ def test_cluster_with_custom_policy():
     c.allocate_specific({0, 1, 2}, owner=1)
     got = c.allocate(2, owner=2)
     assert got == frozenset({3, 4})
+
+
+def test_contiguous_best_fit_fallback_through_cluster():
+    """The fragment fallback exercised end-to-end on the mask path:
+    with no contiguous run large enough, the job spans fragments,
+    lowest ids first."""
+    c = Cluster(8, policy=ContiguousBestFit())
+    c.allocate_specific({1, 3, 5, 7}, owner=1)  # free = {0,2,4,6}
+    got = c.allocate(3, owner=2)
+    assert got == frozenset({0, 2, 4})
+    c.check_invariants()
+
+
+def test_random_policy_mask_path_seeded_reproducible():
+    """Seeded RandomAllocation is deterministic through the cluster's
+    mask-level entry point, and identical to the legacy set path."""
+    a = Cluster(64, policy=RandomAllocation(seed=11))
+    b = Cluster(64, policy=RandomAllocation(seed=11))
+    for owner in range(5):
+        assert a.allocate(7, owner=owner) == b.allocate(7, owner=owner)
+    # select_mask defers to select over the ascending id tuple, so the
+    # two entry points draw the same sample from the same rng state
+    mask = (1 << 40) - 1
+    got_mask = RandomAllocation(seed=4).select_mask(mask, 6)
+    got_set = RandomAllocation(seed=4).select(tuple(range(40)), 6)
+    assert got_mask == sum(1 << p for p in got_set)
+
+
+def test_lowest_id_select_mask_matches_select():
+    free = {5, 1, 3, 2, 30, 31}
+    mask = sum(1 << p for p in free)
+    p = LowestIdFirst()
+    assert p.select_mask(mask, 3) == sum(1 << q for q in p.select(free, 3))
+
+
+# ----------------------------------------------------------------------
+# bitmask-specific surface
+# ----------------------------------------------------------------------
+def test_free_mask_and_owner_mask_track_allocations():
+    c = Cluster(8)
+    c.allocate_specific({0, 2}, owner=1)
+    assert c.owner_mask(1) == 0b101
+    assert c.owner_mask(99) == 0
+    assert c.free_mask == 0b11111111 & ~0b101
+    assert c.can_allocate_mask(0b1010)
+    assert not c.can_allocate_mask(0b0001)
+
+
+def test_allocate_mask_round_trip():
+    c = Cluster(8)
+    got = c.allocate_mask(0b1100, owner=3)
+    assert got == frozenset({2, 3})
+    c.release(got, owner=3)
+    assert c.free_count == 8
+
+
+def test_owners_in_mask_dedupes_by_first_held_processor():
+    c = Cluster(16)
+    c.allocate_specific({0, 5, 6}, owner=10)
+    c.allocate_specific({1, 2}, owner=20)
+    # owner 10 appears once even though it holds three matching procs;
+    # order follows each owner's first processor inside the query mask
+    query = sum(1 << p for p in (1, 2, 5, 6, 0, 9))
+    assert c.owners_in_mask(query) == (10, 20)
+    assert c.owners_in_mask(1 << 9) == ()
+    assert c.owners_in_mask(sum(1 << p for p in (2, 5))) == (20, 10)
+
+
+def test_misbehaving_policy_wrong_count_rejected():
+    class ShortPolicy(LowestIdFirst):
+        def select_mask(self, free_mask: int, count: int) -> int:
+            return super().select_mask(free_mask, max(0, count - 1))
+
+    c = Cluster(8, policy=ShortPolicy())
+    with pytest.raises(AllocationError, match="returned 2 processors"):
+        c.allocate(3, owner=1)
+    c.check_invariants()
+
+
+def test_misbehaving_policy_busy_processor_rejected():
+    class StompPolicy(LowestIdFirst):
+        def select_mask(self, free_mask: int, count: int) -> int:
+            return (1 << count) - 1  # always the lowest ids, free or not
+
+    c = Cluster(8, policy=StompPolicy())
+    c.allocate_specific({0}, owner=1)
+    with pytest.raises(AllocationError, match="outside the free pool"):
+        c.allocate(2, owner=2)
+    c.check_invariants()

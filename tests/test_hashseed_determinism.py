@@ -3,10 +3,11 @@
 The whole point of the RPR001 rule (and the PR-2 ``_try_resume`` fix it
 generalises) is that no scheduling decision may depend on hash order.
 ``PYTHONHASHSEED`` is fixed at interpreter start, so the only honest
-probe is to run the same small SS + TSS grid in two sub-interpreters
-with *different* hash seeds and require the JSONL decision traces --
-the complete record of every dispatch, suspension and decision -- to
-match byte for byte.
+probe is to run the same small grid -- SS, TSS, EASY and conservative
+backfill, covering every scheduler family the paper compares -- in two
+sub-interpreters with *different* hash seeds and require the JSONL
+decision traces -- the complete record of every dispatch, suspension
+and decision -- to match byte for byte.
 """
 
 from __future__ import annotations
@@ -27,6 +28,8 @@ from pathlib import Path
 from repro.core.selective_suspension import SelectiveSuspensionScheduler
 from repro.core.tss import TunableSelectiveSuspensionScheduler
 from repro.experiments.parallel import GridCell, run_grid
+from repro.schedulers.conservative import ConservativeBackfillScheduler
+from repro.schedulers.easy import EasyBackfillScheduler
 from repro.workload.archive import get_preset
 from repro.workload.synthetic import generate_trace
 
@@ -35,6 +38,8 @@ n_procs = get_preset("CTC").n_procs
 schemes = [
     ("ss", SelectiveSuspensionScheduler()),
     ("tss", TunableSelectiveSuspensionScheduler(suspension_factor=2.0)),
+    ("easy", EasyBackfillScheduler()),
+    ("conservative", ConservativeBackfillScheduler()),
 ]
 cells = [
     GridCell(
@@ -72,7 +77,7 @@ def test_traces_byte_identical_across_hash_seeds(tmp_path: Path) -> None:
     first = _run_grid_under(0, tmp_path)
     second = _run_grid_under(42, tmp_path)
 
-    assert set(first) == {"ss.jsonl", "tss.jsonl"}
+    assert set(first) == {"ss.jsonl", "tss.jsonl", "easy.jsonl", "conservative.jsonl"}
     assert set(second) == set(first)
     for name in first:
         assert first[name], f"{name}: empty trace"

@@ -1,0 +1,90 @@
+"""Golden decision traces: the optimised kernel is byte-pinned to the
+pre-optimisation one.
+
+PR 4 rebuilt the simulation kernel for speed -- bitmask cluster,
+sweep-scoped caching, O(n) anchor walk -- under the contract that **no
+schedule changes**.  These hashes are SHA-256 digests of complete JSONL
+decision traces (every dispatch, suspension, resume, verdict and
+reservation) produced by the *seed* kernel before any of that work
+landed.  The optimised kernel must reproduce them byte for byte.
+
+If an intentional semantic change ever lands (a new tie-break, a
+different verdict rule), regenerate the hashes in the same commit and
+say so in its message; a perf-only PR that trips this test has a bug.
+
+The grid deliberately spans both machines the paper models at
+meaningfully different scales (CTC at 430 processors, SDSC at 128) and
+every scheduler family it compares (SS, TSS, EASY, conservative), so a
+regression anywhere in cluster/profile/sweep code has a cell that
+notices.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+import pytest
+
+from repro.cluster.machine import Cluster
+from repro.core.selective_suspension import SelectiveSuspensionScheduler
+from repro.core.tss import TunableSelectiveSuspensionScheduler
+from repro.obs.recorder import JsonlRecorder
+from repro.schedulers.base import Scheduler
+from repro.schedulers.conservative import ConservativeBackfillScheduler
+from repro.schedulers.easy import EasyBackfillScheduler
+from repro.sim.driver import SchedulingSimulation
+from repro.workload.synthetic import generate_trace
+
+#: (trace preset, n_procs, n_jobs, seed)
+_WORKLOADS = {
+    "CTC": ("CTC", 430, 60, 11),
+    "SDSC": ("SDSC", 128, 80, 7),
+}
+
+#: SHA-256 of the seed kernel's JSONL decision trace per grid cell,
+#: captured at commit cb1017f (pre-bitmask, pre-sweep-cache kernel)
+GOLDEN_TRACE_SHA256 = {
+    ("CTC", "ss"): "d5d3fe1f2da73f8ade3907237661d96db640c992dbea740594d3024b4b03e866",
+    ("CTC", "tss"): "e665d49128febcf9837cac2d163570c7b8bc8d40fa6cd2e47b4a608522297378",
+    ("CTC", "easy"): "da41a9f20641c3f1eb45856ef6259a60c15c24d45b66c440e9ed71e5784140ee",
+    ("CTC", "conservative"): (
+        "87955d46406819187b0bd2686a1da65b2c93d5f3da1c6eb9f8ba85d1a4e4534b"
+    ),
+    ("SDSC", "ss"): "f7ce1d7bbaa7372769034a2a067f4c3372c12656ebfd9e51c8b261fa5efcc47b",
+    ("SDSC", "tss"): "7cbf16e9b31f1a6c5f07f943f6c4b1bec5619d3de9fc3700b70ec863b9c201c4",
+    ("SDSC", "easy"): "1c12bf4b03326daaf63874b278ec8cca77dd09758735fe0408d911cd770f5a2e",
+    ("SDSC", "conservative"): (
+        "a3c7aae1d88ff45b0c4df0ad2a53beee6c6cbfe0fec5ccacf610e690a680e63c"
+    ),
+}
+
+
+def _make_scheduler(name: str) -> Scheduler:
+    if name == "ss":
+        return SelectiveSuspensionScheduler(suspension_factor=2.0)
+    if name == "tss":
+        return TunableSelectiveSuspensionScheduler(suspension_factor=2.0)
+    if name == "easy":
+        return EasyBackfillScheduler()
+    return ConservativeBackfillScheduler()
+
+
+@pytest.mark.parametrize(
+    ("workload", "scheme"),
+    sorted(GOLDEN_TRACE_SHA256),
+    ids=lambda v: str(v),
+)
+def test_trace_matches_seed_kernel(workload: str, scheme: str, tmp_path: Path) -> None:
+    trace_name, n_procs, n_jobs, seed = _WORKLOADS[workload]
+    path = tmp_path / f"{workload}-{scheme}.jsonl"
+    rec = JsonlRecorder(str(path))
+    sim = SchedulingSimulation(Cluster(n_procs), _make_scheduler(scheme), recorder=rec)
+    sim.run(generate_trace(trace_name, n_jobs=n_jobs, seed=seed))
+    rec.close()
+    digest = hashlib.sha256(path.read_bytes()).hexdigest()
+    assert digest == GOLDEN_TRACE_SHA256[(workload, scheme)], (
+        f"{workload}/{scheme}: decision trace diverged from the seed "
+        "kernel -- a perf change altered the schedule (or an intentional "
+        "semantic change forgot to regenerate the golden hashes)"
+    )

@@ -103,6 +103,51 @@ class TestRPR001:
         """
         assert findings_for(src, "schedulers/x.py", select={"RPR001"}) == []
 
+    # -- PR-4: the bitmask kernel joins the patrol ---------------------
+    def test_cluster_path_is_patrolled(self) -> None:
+        # iterating a set in cluster/ fires exactly like core/ --
+        # allocation choices steer the schedule
+        src = """
+            def pack(self, count: int):
+                for p in self.free_set():
+                    if count == 0:
+                        break
+                    self._claim(p)
+                    count -= 1
+        """
+        assert "RPR001" in rules_of(findings_for(src, "cluster/machine.py"))
+
+    def test_mask_iteration_helpers_are_clean(self) -> None:
+        # iter_bits/mask_to_ids walk an *integer* lowest-bit-first:
+        # ascending by construction, nothing hash-ordered to flag
+        src = """
+            from repro.cluster.bitset import iter_bits, mask_to_ids
+
+            def claim(self, mask: int, owner: int) -> None:
+                for p in iter_bits(mask):
+                    self._proc_owner[p] = owner
+                ids = list(mask_to_ids(mask))
+        """
+        assert findings_for(src, "cluster/machine.py", select={"RPR001"}) == []
+
+    def test_mask_from_ids_is_order_insensitive_consumer(self) -> None:
+        # folding a set into a bitmask is commutative OR; feeding a set
+        # into mask_from_ids cannot leak hash order into the schedule
+        src = """
+            from repro.cluster.bitset import mask_from_ids
+
+            def pin(self, procs: set) -> int:
+                return mask_from_ids(p for p in procs)
+        """
+        assert findings_for(src, "core/sweep.py", select={"RPR001"}) == []
+
+    def test_materialising_a_set_in_cluster_path_fires(self) -> None:
+        src = """
+            def snapshot(self):
+                return tuple(self.free_set())
+        """
+        assert "RPR001" in rules_of(findings_for(src, "cluster/snapshot.py"))
+
 
 # ----------------------------------------------------------------------
 # RPR002 -- nondeterminism sources

@@ -205,6 +205,120 @@ def test_cluster_random_walk_keeps_invariants(ops):
         assert c.free_count + sum(len(p) for p in held.values()) == 16
 
 
+class _SetModelCluster:
+    """Reference model for :class:`Cluster`: plain sets and dicts.
+
+    Mirrors the machine-model semantics (lowest-id-first allocation,
+    exclusive ownership, all-or-nothing release) with the most obvious
+    data structures so the bitmask implementation can be checked
+    operation for operation against it.
+    """
+
+    def __init__(self, n_procs: int) -> None:
+        self.n_procs = n_procs
+        self.free: set[int] = set(range(n_procs))
+        self.owner_procs: dict[int, set[int]] = {}
+
+    def allocate(self, count: int, owner: int) -> frozenset[int] | None:
+        if count <= 0 or count > len(self.free):
+            return None
+        chosen = set(sorted(self.free)[:count])
+        self.free -= chosen
+        self.owner_procs.setdefault(owner, set()).update(chosen)
+        return frozenset(chosen)
+
+    def allocate_specific(self, procs: set[int], owner: int) -> frozenset[int] | None:
+        if not procs or not procs <= self.free:
+            return None
+        self.free -= procs
+        self.owner_procs.setdefault(owner, set()).update(procs)
+        return frozenset(procs)
+
+    def release(self, procs: set[int], owner: int) -> bool:
+        if not procs <= self.owner_procs.get(owner, set()):
+            return False  # all-or-nothing: reject, change nothing
+        self.owner_procs[owner] -= procs
+        if not self.owner_procs[owner]:
+            del self.owner_procs[owner]
+        self.free |= procs
+        return True
+
+
+_cluster_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("alloc"), st.integers(min_value=1, max_value=10)),
+        st.tuples(
+            st.just("alloc_specific"),
+            st.sets(st.integers(min_value=0, max_value=15), min_size=1, max_size=6),
+        ),
+        st.tuples(st.just("release"), st.integers(min_value=0, max_value=12)),
+        st.tuples(
+            st.just("bad_release"),
+            st.sets(st.integers(min_value=0, max_value=15), min_size=1, max_size=6),
+        ),
+    ),
+    max_size=80,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_cluster_ops)
+def test_cluster_agrees_with_set_model(ops):
+    """The bitmask Cluster is operation-for-operation equivalent to the
+    set-based reference model: same allocations, same rejections, same
+    observable state after every step."""
+    import pytest
+
+    from repro.cluster.machine import AllocationError
+
+    real = Cluster(16)
+    model = _SetModelCluster(16)
+    next_owner = 0
+
+    for kind, arg in ops:
+        if kind == "alloc":
+            expected = model.allocate(arg, owner=next_owner)
+            if expected is None:
+                with pytest.raises(AllocationError):
+                    real.allocate(arg, owner=next_owner)
+            else:
+                assert real.allocate(arg, owner=next_owner) == expected
+                next_owner += 1
+        elif kind == "alloc_specific":
+            expected = model.allocate_specific(set(arg), owner=next_owner)
+            if expected is None:
+                with pytest.raises(AllocationError):
+                    real.allocate_specific(arg, owner=next_owner)
+            else:
+                assert real.allocate_specific(arg, owner=next_owner) == expected
+                next_owner += 1
+        elif kind == "release":
+            # release some existing owner's full holding, chosen by index
+            owners = sorted(model.owner_procs)
+            if not owners:
+                continue
+            owner = owners[arg % len(owners)]
+            procs = set(model.owner_procs[owner])
+            assert model.release(procs, owner)
+            real.release(procs, owner)
+        else:  # bad_release: arbitrary procs under a bogus owner
+            assert not model.release(set(arg), owner=-1)
+            with pytest.raises(AllocationError):
+                real.release(arg, owner=-1)
+
+        # observable state identical after every operation
+        real.check_invariants()
+        assert real.free_set() == frozenset(model.free)
+        assert real.free_mask == sum(1 << p for p in model.free)
+        for owner, procs in model.owner_procs.items():
+            assert real.owner_mask(owner) == sum(1 << p for p in procs)
+        for p in range(16):
+            expected_owner = next(
+                (o for o, ps in model.owner_procs.items() if p in ps), None
+            )
+            assert real.owner_of(p) == expected_owner
+
+
 @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 @given(job_lists)
 def test_is_schedule_invariants(raw):

@@ -1,0 +1,340 @@
+#!/usr/bin/env python3
+"""Tracked perf-regression gate over ``benchmarks/bench_micro.py``.
+
+The micro-bench suite measures the simulation kernel's hot paths and
+keeps the pre-optimisation implementations alive as in-run references
+(``*_legacy`` twins), so every speedup ratio is computed inside one
+process on one machine.  This script turns those measurements into a
+*tracked* artifact:
+
+``--write``
+    Run the suite and write a schema-versioned baseline
+    (``BENCH_PR4.json`` at the repo root) recording per-bench
+    mean/stddev/rounds, end-to-end jobs/second, in-run speedup ratios,
+    and a machine-independent *trace fingerprint* (SHA-256 over the
+    schedule signature each bench workload produces).
+
+``--check``
+    Run the suite fresh, write the report to ``--out`` (a CI artifact),
+    then compare against the newest committed ``BENCH_*.json``:
+
+    * the trace fingerprints must match **exactly** -- a perf PR that
+      changes any schedule is rejected outright, machine-independent;
+    * the asserted speedup floors (SS vs the retained legacy kernel,
+      >= 1.5x on both the SDSC-400 and congested traces) must hold;
+    * no bench may regress by more than ``--threshold`` (default 25%)
+      in *normalised* time -- each mean is divided by the same run's
+      event-queue bench, so a slower CI machine does not fail the gate
+      but a slower kernel does.
+
+Absolute wall-clock numbers are recorded for the human reading the
+artifact; only normalised quantities and fingerprints gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _dt
+import hashlib
+import json
+import os
+import platform
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import Any
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SCHEMA = "repro.bench_gate/v1"
+
+#: bench used as the machine-speed proxy for normalisation; pure-python
+#: heap churn with no kernel code on the path
+REFERENCE_BENCH = "test_event_queue_push_pop"
+
+#: in-run speedup floors the ISSUE's acceptance criteria assert
+SPEEDUP_FLOORS = {
+    "ss_sdsc400_vs_legacy": 1.5,
+    "ss_congested_vs_legacy": 1.5,
+}
+
+#: fast-kernel bench -> its retained legacy twin
+SPEEDUP_PAIRS = {
+    "ss_sdsc400_vs_legacy": (
+        "test_simulation_rate_ss",
+        "test_simulation_rate_ss_legacy_sweep",
+    ),
+    "ss_congested_vs_legacy": (
+        "test_simulation_rate_ss_congested",
+        "test_simulation_rate_ss_congested_legacy",
+    ),
+    "profile_vs_legacy": (
+        "test_profile_claim_and_anchor",
+        "test_profile_claim_and_anchor_legacy",
+    ),
+    "cluster_vs_legacy": (
+        "test_cluster_allocate_release",
+        "test_cluster_allocate_release_legacy",
+    ),
+}
+
+#: simulation-rate bench -> number of jobs it schedules per round
+JOBS_PER_ROUND = {
+    "test_simulation_rate_easy": 400,
+    "test_simulation_rate_ss": 400,
+    "test_simulation_rate_ss_congested": 700,
+}
+
+
+def run_bench_suite() -> dict[str, Any]:
+    """Run bench_micro under pytest-benchmark, return the parsed JSON."""
+    with tempfile.TemporaryDirectory() as tmp:
+        json_path = Path(tmp) / "bench.json"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        env.setdefault("PYTHONHASHSEED", "0")
+        cmd = [
+            sys.executable,
+            "-m",
+            "pytest",
+            "benchmarks/bench_micro.py",
+            "-q",
+            "-p",
+            "no:randomly",
+            f"--benchmark-json={json_path}",
+        ]
+        proc = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
+        if proc.returncode != 0:
+            raise SystemExit(f"bench suite failed (exit {proc.returncode})")
+        with open(json_path, encoding="utf-8") as fh:
+            data: dict[str, Any] = json.load(fh)
+        return data
+
+
+def trace_fingerprints() -> dict[str, str]:
+    """Machine-independent SHA-256 of each bench workload's schedule.
+
+    Re-runs the optimised kernel on the exact workloads bench_micro
+    times and hashes the externally observable per-job outcome
+    (job id, first start, finish, suspension count).  Any divergence
+    between two machines or two commits means the *schedule* changed,
+    which a perf PR must never do.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.core.selective_suspension import SelectiveSuspensionScheduler
+    from repro.sim.driver import SchedulingSimulation
+    from repro.cluster.machine import Cluster
+    from repro.workload.load import scale_load
+    from repro.workload.synthetic import generate_trace
+
+    def run_signature(jobs: list[Any]) -> str:
+        driver = SchedulingSimulation(
+            cluster=Cluster(128),
+            scheduler=SelectiveSuspensionScheduler(suspension_factor=2.0),
+        )
+        result = driver.run(jobs)
+        sig = [
+            (j.job_id, j.first_start_time, j.finish_time, j.suspension_count)
+            for j in result.jobs
+        ]
+        blob = json.dumps(sig, separators=(",", ":")).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    return {
+        "ss_sdsc400": run_signature(generate_trace("SDSC", n_jobs=400, seed=3)),
+        "ss_congested700": run_signature(
+            scale_load(generate_trace("SDSC", n_jobs=700, seed=5), 1.8)
+        ),
+    }
+
+
+def build_report(raw: dict[str, Any]) -> dict[str, Any]:
+    """Distil the pytest-benchmark JSON into the gate's schema."""
+    benches: dict[str, dict[str, Any]] = {}
+    for b in raw.get("benchmarks", []):
+        stats = b["stats"]
+        benches[b["name"]] = {
+            "mean_s": stats["mean"],
+            "stddev_s": stats["stddev"],
+            "median_s": stats["median"],
+            "min_s": stats["min"],
+            "rounds": stats["rounds"],
+        }
+
+    ref = benches.get(REFERENCE_BENCH)
+    if ref is None:
+        raise SystemExit(f"reference bench {REFERENCE_BENCH!r} missing from run")
+    ref_mean = ref["mean_s"]
+
+    normalised = {
+        name: stats["mean_s"] / ref_mean
+        for name, stats in sorted(benches.items())
+        if name != REFERENCE_BENCH
+    }
+
+    speedups: dict[str, float] = {}
+    for label, (fast, slow) in SPEEDUP_PAIRS.items():
+        if fast in benches and slow in benches:
+            speedups[label] = benches[slow]["mean_s"] / benches[fast]["mean_s"]
+
+    rates = {
+        name: JOBS_PER_ROUND[name] / benches[name]["mean_s"]
+        for name in JOBS_PER_ROUND
+        if name in benches
+    }
+
+    return {
+        "schema": SCHEMA,
+        "generated_utc": _dt.datetime.now(_dt.timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%SZ"
+        ),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "machine_dependent": ["benches", "jobs_per_second"],
+        "machine_independent": ["normalised", "speedups", "trace_fingerprints"],
+        "benches": benches,
+        "jobs_per_second": rates,
+        "normalised": normalised,
+        "speedups": speedups,
+        "trace_fingerprints": trace_fingerprints(),
+    }
+
+
+def newest_baseline(exclude: Path | None = None) -> Path | None:
+    """Newest committed ``BENCH_*.json`` at the repo root, by PR number."""
+
+    def pr_key(p: Path) -> tuple[int, str]:
+        m = re.search(r"(\d+)", p.stem)
+        return (int(m.group(1)) if m else -1, p.name)
+
+    candidates = [
+        p
+        for p in REPO_ROOT.glob("BENCH_*.json")
+        if exclude is None or p.resolve() != exclude.resolve()
+    ]
+    return max(candidates, key=pr_key) if candidates else None
+
+
+def check_report(
+    report: dict[str, Any], baseline: dict[str, Any], threshold: float
+) -> list[str]:
+    """All gate violations of *report* against *baseline* (empty = pass)."""
+    problems: list[str] = []
+
+    for name, want in baseline.get("trace_fingerprints", {}).items():
+        got = report["trace_fingerprints"].get(name)
+        if got != want:
+            problems.append(
+                f"trace fingerprint {name!r} changed: {want} -> {got} "
+                "(the schedule itself changed; a perf PR must not do that)"
+            )
+
+    for label, floor in SPEEDUP_FLOORS.items():
+        got_speedup = report["speedups"].get(label, 0.0)
+        if got_speedup < floor:
+            problems.append(
+                f"speedup {label!r} = {got_speedup:.2f}x fell below the "
+                f"asserted floor {floor:.1f}x"
+            )
+
+    base_norm = baseline.get("normalised", {})
+    for name, base_val in sorted(base_norm.items()):
+        cur_val = report["normalised"].get(name)
+        if cur_val is None:
+            problems.append(f"bench {name!r} disappeared from the suite")
+            continue
+        if cur_val > base_val * (1.0 + threshold):
+            problems.append(
+                f"bench {name!r} regressed: normalised time "
+                f"{base_val:.2f} -> {cur_val:.2f} "
+                f"(> {threshold:.0%} threshold)"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--write",
+        action="store_true",
+        help="run the suite and write a new committed baseline",
+    )
+    mode.add_argument(
+        "--check",
+        action="store_true",
+        help="run the suite and gate against the newest BENCH_*.json",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="report path (default: BENCH_PR4.json for --write, "
+        "bench_report.json for --check)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="max allowed normalised-time regression (default 0.25 = 25%%)",
+    )
+    args = parser.parse_args(argv)
+
+    out = args.out or (
+        REPO_ROOT / ("BENCH_PR4.json" if args.write else "bench_report.json")
+    )
+
+    raw = run_bench_suite()
+    report = build_report(raw)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"bench_gate: wrote {out}")
+    for label, val in sorted(report["speedups"].items()):
+        print(f"  speedup {label}: {val:.2f}x")
+    for name, val in sorted(report["jobs_per_second"].items()):
+        print(f"  rate {name}: {val:,.0f} jobs/s")
+
+    if args.write:
+        # floors still apply when minting a baseline
+        bad = [
+            f"speedup {label!r} = {report['speedups'].get(label, 0.0):.2f}x "
+            f"below floor {floor:.1f}x"
+            for label, floor in SPEEDUP_FLOORS.items()
+            if report["speedups"].get(label, 0.0) < floor
+        ]
+        if bad:
+            print("bench_gate: FAIL", file=sys.stderr)
+            for line in bad:
+                print(f"  - {line}", file=sys.stderr)
+            return 1
+        print("bench_gate: baseline written")
+        return 0
+
+    baseline_path = newest_baseline(exclude=out)
+    if baseline_path is None:
+        print("bench_gate: no committed BENCH_*.json baseline; nothing to gate")
+        return 0
+    print(f"bench_gate: gating against {baseline_path.name}")
+    with open(baseline_path, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    if baseline.get("schema") != SCHEMA:
+        print(
+            f"bench_gate: baseline schema {baseline.get('schema')!r} != {SCHEMA!r}; "
+            "refusing to compare",
+            file=sys.stderr,
+        )
+        return 1
+
+    problems = check_report(report, baseline, args.threshold)
+    if problems:
+        print("bench_gate: FAIL", file=sys.stderr)
+        for p in problems:
+            print(f"  - {p}", file=sys.stderr)
+        return 1
+    print("bench_gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -173,6 +173,50 @@ def check_links(doc: Path, failures: list[Failure]) -> int:
     return checked
 
 
+# ----------------------------------------------------------------------
+# quoted benchmark numbers
+# ----------------------------------------------------------------------
+#: a kernel-table row: `...(`<speedup label>`)... | **N.NN×** |`
+BENCH_ROW_RE = re.compile(r"\(`(\w+_vs_\w+)`\)[^\n]*\*\*(\d+\.\d+)×\*\*")
+
+
+def check_bench_table(doc: Path, failures: list[Failure]) -> int:
+    """EXPERIMENTS.md's kernel table must quote BENCH_PR4.json exactly.
+
+    The speedup column is a *quotation* of the committed baseline
+    artifact; if either side changes without the other, the docs job
+    fails instead of the table silently going stale.
+    """
+    rel = str(doc.relative_to(REPO_ROOT))
+    rows = BENCH_ROW_RE.findall(doc.read_text())
+    if not rows:
+        return 0
+    baseline_path = REPO_ROOT / "BENCH_PR4.json"
+    if not baseline_path.exists():
+        failures.append(
+            Failure(rel, "missing baseline", "table quotes BENCH_PR4.json")
+        )
+        return len(rows)
+    import json
+
+    speedups = json.loads(baseline_path.read_text()).get("speedups", {})
+    for label, quoted in rows:
+        actual = speedups.get(label)
+        if actual is None:
+            failures.append(
+                Failure(rel, "unknown bench label", f"`{label}` not in baseline")
+            )
+        elif f"{actual:.2f}" != quoted:
+            failures.append(
+                Failure(
+                    rel,
+                    "stale bench quote",
+                    f"`{label}`: doc says {quoted}×, baseline says {actual:.2f}×",
+                )
+            )
+    return len(rows)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -195,10 +239,14 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(Failure(name, "missing document", str(doc)))
             continue
         n_links = check_links(doc, failures)
+        n_quotes = check_bench_table(doc, failures)
         n_blocks = 0
         if not args.no_exec and name in EXECUTABLE_DOCS:
             n_blocks = check_blocks(doc, failures)
-        print(f"{name}: {n_links} link(s), {n_blocks} executed block(s)")
+        print(
+            f"{name}: {n_links} link(s), {n_blocks} executed block(s), "
+            f"{n_quotes} bench quote(s)"
+        )
 
     for f in failures:
         print(f"FAIL {f}", file=sys.stderr)

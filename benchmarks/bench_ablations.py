@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import CACHE, SEED, WORKERS, run_once
+from benchmarks.conftest import CACHE, POLICY, SEED, WORKERS, run_once
 from repro.core.overhead import DiskSwapOverheadModel
 from repro.core.selective_suspension import SelectiveSuspensionScheduler
 from repro.core.tss import TunableSelectiveSuspensionScheduler, limits_from_result
@@ -59,7 +59,7 @@ def _grid(jobs, n_procs, variants, **cell_kwargs):
                 key=key, jobs=jobs, n_procs=n_procs, scheduler_config=config, **extra
             )
         )
-    return run_grid(cells, workers=WORKERS, cache=CACHE).results
+    return run_grid(cells, workers=WORKERS, cache=CACHE, policy=POLICY).results
 
 
 @pytest.fixture(scope="module")
@@ -119,6 +119,7 @@ def test_ablation_tss_limit_source(benchmark, workload):
             ],
             workers=WORKERS,
             cache=CACHE,
+            policy=POLICY,
         ).results["ns"]
         res = _grid(
             jobs,

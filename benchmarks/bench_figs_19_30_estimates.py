@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import CACHE, N_JOBS, SEED, WORKERS, run_once
+from benchmarks.conftest import CACHE, N_JOBS, POLICY, SEED, WORKERS, run_once
 from repro.experiments import paper
 
 #: this bench simulates 6 schemes per trace under heavy over-estimation
@@ -34,6 +34,7 @@ def test_figs_19_30_estimate_impact(benchmark, trace):
         seed=SEED,
         workers=WORKERS,
         cache=CACHE,
+        policy=POLICY,
     )
     print()
     print(out.report)

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import CACHE, SEED, WORKERS, run_once
+from benchmarks.conftest import CACHE, POLICY, SEED, WORKERS, run_once
 from repro.analysis.tables import series_table
 from repro.experiments import paper
 
@@ -42,6 +42,7 @@ def test_figs_35_44_load_variation(benchmark, trace):
         seed=SEED,
         workers=WORKERS,
         cache=CACHE,
+        policy=POLICY,
     )
     print()
     print(out.report)

@@ -16,6 +16,14 @@ and REPRO_BENCH_CACHE points them at an on-disk result cache so a
 re-run after an interrupted session skips finished cells.  Both knobs
 change wall-clock only -- the simulator is deterministic and the merge
 order fixed, so reports and assertions are identical either way.
+
+Fault-tolerance knobs: REPRO_BENCH_CELL_TIMEOUT (seconds a pooled cell
+may run before its worker is culled and the cell retried) and
+REPRO_BENCH_CELL_RETRIES (failed attempts each cell may retry) build
+the :class:`~repro.experiments.parallel.GridPolicy` every grid bench
+passes through, so a long overnight sweep survives a wedged or killed
+worker without code changes.  Unset, the policy is the conservative
+default (no timeout, no retries) and behaviour is unchanged.
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ import os
 import pytest
 
 from repro.experiments.cache import ResultCache
+from repro.experiments.parallel import GridPolicy
 
 #: workload size for figure regeneration benches
 N_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "2000"))
@@ -42,6 +51,8 @@ CACHE: ResultCache | None = (
     if os.environ.get("REPRO_BENCH_CACHE")
     else None
 )
+#: fault-tolerance policy for grid benches, from REPRO_BENCH_CELL_*
+POLICY: GridPolicy = GridPolicy.from_env()
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -49,8 +49,9 @@ from repro.core.selective_suspension import SelectiveSuspensionScheduler
 from repro.core.tss import TunableSelectiveSuspensionScheduler
 from repro.experiments import paper
 from repro.experiments.cache import ResultCache
-from repro.experiments.parallel import compare_schemes_parallel
+from repro.experiments.parallel import GridPolicy, compare_schemes_parallel
 from repro.experiments.runner import simulate, standard_schemes
+from repro.obs import GridCounters, format_grid_counters
 from repro.schedulers.base import Scheduler
 from repro.schedulers.conservative import ConservativeBackfillScheduler
 from repro.schedulers.easy import EasyBackfillScheduler
@@ -160,12 +161,37 @@ def _add_parallel_args(p: argparse.ArgumentParser) -> None:
         default=None,
         metavar="DIR",
         help="content-addressed result cache directory; repeated runs "
-        "with identical (trace, scheduler, overhead) cells skip simulation",
+        "with identical (trace, scheduler, overhead) cells skip simulation, "
+        "and every finished cell is committed immediately (a killed run "
+        "resumes where it stopped)",
+    )
+    p.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="declare a grid cell hung after this many seconds on a worker "
+        "and retry it on a fresh pool (default: wait forever)",
+    )
+    p.add_argument(
+        "--cell-retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry a crashed or hung cell up to N times with exponential "
+        "backoff before giving up (default: 0)",
     )
 
 
 def _cache_from_args(args: argparse.Namespace) -> ResultCache | None:
     return ResultCache(args.cache_dir) if getattr(args, "cache_dir", None) else None
+
+
+def _policy_from_args(args: argparse.Namespace) -> GridPolicy:
+    return GridPolicy(
+        cell_timeout=getattr(args, "cell_timeout", None),
+        cell_retries=getattr(args, "cell_retries", 0),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -323,6 +349,7 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "compare":
         jobs, n_procs = _load_jobs(args)
         overhead = DiskSwapOverheadModel() if args.overhead else None
+        counters = GridCounters()
         results = compare_schemes_parallel(
             jobs,
             n_procs,
@@ -331,7 +358,11 @@ def _dispatch(args: argparse.Namespace) -> int:
             workers=args.workers,
             cache=_cache_from_args(args),
             trace_dir=args.trace_dir,
+            policy=_policy_from_args(args),
+            counters=counters,
         )
+        if counters:
+            print(format_grid_counters(counters), file=sys.stderr)
         print(
             scheme_comparison_report(
                 f"{args.trace}: scheme comparison",
@@ -372,6 +403,8 @@ def _dispatch(args: argparse.Namespace) -> int:
                 kwargs["workers"] = args.workers
             if "cache" in params:
                 kwargs["cache"] = _cache_from_args(args)
+            if "policy" in params:
+                kwargs["policy"] = _policy_from_args(args)
             out = fn(**kwargs)
         else:
             out = fn()

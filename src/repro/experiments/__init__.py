@@ -5,7 +5,8 @@
   over one trace), both serial.
 * :mod:`repro.experiments.parallel` -- :func:`run_grid` and
   :func:`compare_schemes_parallel`: the same cells fanned out over a
-  process pool with deterministic merging.
+  process pool with deterministic merging, incremental cache commits
+  and crash/hang/broken-pool recovery governed by :class:`GridPolicy`.
 * :mod:`repro.experiments.cache` -- :class:`ResultCache`, the
   content-addressed on-disk result store keyed by (workload, machine,
   scheduler config, overhead model, migratable flag) fingerprints.
@@ -19,10 +20,15 @@ from repro.experiments.cache import (
     fingerprint_jobs,
 )
 from repro.experiments.parallel import (
+    CellFailure,
     GridCell,
+    GridExecutionError,
     GridOutcome,
+    GridPolicy,
     compare_schemes_parallel,
     run_grid,
+    simulate_cell,
+    trace_files_for_keys,
 )
 from repro.experiments.runner import (
     SchemeSpec,
@@ -34,8 +40,11 @@ from repro.experiments.runner import (
 )
 
 __all__ = [
+    "CellFailure",
     "GridCell",
+    "GridExecutionError",
     "GridOutcome",
+    "GridPolicy",
     "ResultCache",
     "SchemeSpec",
     "SuspensionOverheadModel",
@@ -45,6 +54,8 @@ __all__ = [
     "fingerprint_jobs",
     "run_grid",
     "simulate",
+    "simulate_cell",
     "standard_schemes",
+    "trace_files_for_keys",
     "tuned_schemes",
 ]

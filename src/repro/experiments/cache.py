@@ -110,9 +110,15 @@ class ResultCache:
     (tempfile + rename), so concurrent runs sharing a cache directory
     at worst duplicate work, never corrupt entries.
 
-    Counters (``hits`` / ``misses`` / ``stores``) are per-instance
-    diagnostics; tests use them to assert that a warm re-run executes
-    zero simulations.
+    Unreadable entries are **quarantined**, not deleted: a garbage
+    pickle is renamed to ``<fp>.pkl.corrupt`` so the next :meth:`put`
+    repairs the slot while the evidence survives for diagnosis (a
+    corrupt entry usually means a torn disk write or an unsanctioned
+    mutation of the cache directory -- worth keeping).
+
+    Counters (``hits`` / ``misses`` / ``stores`` / ``corrupt``) are
+    per-instance diagnostics; tests use them to assert that a warm
+    re-run executes zero simulations.
     """
 
     def __init__(self, root: str | os.PathLike[str]) -> None:
@@ -121,6 +127,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt = 0
 
     def _path(self, fingerprint: str) -> Path:
         return self.root / fingerprint[:2] / f"{fingerprint}.pkl"
@@ -132,16 +139,44 @@ class ResultCache:
         return sum(1 for _ in self.root.glob("*/*.pkl"))
 
     def get(self, fingerprint: str) -> SimulationResult | None:
-        """The cached result for *fingerprint*, or ``None`` (counted)."""
+        """The cached result for *fingerprint*, or ``None`` (counted).
+
+        An entry that exists but cannot be loaded is quarantined (see
+        :meth:`_quarantine`) and counted as a miss.  The guard is
+        ``Exception``-wide on purpose: unpickling attacker-free but
+        *garbage* bytes can raise nearly anything -- ``AttributeError``
+        and ``ImportError`` for stale class paths, ``MemoryError`` for a
+        corrupted length prefix -- and none of those may escape a cache
+        *probe*.
+        """
         path = self._path(fingerprint)
         try:
             with path.open("rb") as fh:
                 result = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError):
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
         return result
+
+    def _quarantine(self, path: Path) -> None:
+        """Move an unreadable entry aside as ``<name>.pkl.corrupt``.
+
+        The rename frees the slot (``put`` then writes a fresh entry at
+        the canonical path) while preserving the poisoned bytes next to
+        it; ``__len__``/``clear`` ignore ``*.corrupt`` files.  This is
+        the one sanctioned mutation on the cache *read* path -- see
+        repro-lint rule RPR005.
+        """
+        try:
+            path.rename(path.with_name(path.name + ".corrupt"))
+        except OSError:  # raced away, or the path is not renameable
+            return
+        self.corrupt += 1
 
     def put(self, fingerprint: str, result: SimulationResult) -> None:
         """Store *result* under *fingerprint* atomically."""
@@ -171,5 +206,6 @@ class ResultCache:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<ResultCache {self.root} entries={len(self)} "
-            f"hits={self.hits} misses={self.misses} stores={self.stores}>"
+            f"hits={self.hits} misses={self.misses} stores={self.stores} "
+            f"corrupt={self.corrupt}>"
         )

@@ -24,7 +24,12 @@ from repro.analysis.tables import category_grid_table, series_table
 from repro.core.overhead import DiskSwapOverheadModel
 from repro.core.theory import two_task_timeline
 from repro.experiments.cache import ResultCache
-from repro.experiments.parallel import GridCell, compare_schemes_parallel, run_grid
+from repro.experiments.parallel import (
+    GridCell,
+    GridPolicy,
+    compare_schemes_parallel,
+    run_grid,
+)
 from repro.experiments.runner import (
     simulate,
     standard_schemes,
@@ -212,6 +217,7 @@ def ss_average_metrics(
     seed: int = DEFAULT_SEED,
     workers: int | None = None,
     cache: ResultCache | None = None,
+    policy: GridPolicy | None = None,
 ) -> ExperimentOutput:
     """Figs 7-10: mean slowdown & turnaround per category, SS vs NS vs IS.
 
@@ -222,7 +228,7 @@ def ss_average_metrics(
     preset = get_preset(trace)
     jobs = _trace(trace, n_jobs, seed)
     results = compare_schemes_parallel(
-        jobs, preset.n_procs, standard_schemes(), workers=workers, cache=cache
+        jobs, preset.n_procs, standard_schemes(), workers=workers, cache=cache, policy=policy
     )
     data = {
         "slowdown": _mean_grids(results, "slowdown"),
@@ -264,6 +270,7 @@ def ss_worst_case(
     seed: int = DEFAULT_SEED,
     workers: int | None = None,
     cache: ResultCache | None = None,
+    policy: GridPolicy | None = None,
 ) -> ExperimentOutput:
     """Figs 11-12 (CTC) / 15-16 (SDSC): worst-case slowdown & turnaround.
 
@@ -277,6 +284,7 @@ def ss_worst_case(
         standard_schemes(suspension_factors=(2.0,)),
         workers=workers,
         cache=cache,
+        policy=policy,
     )
     data = {
         "slowdown": _mean_grids(results, "slowdown", statistic="worst"),
@@ -318,6 +326,7 @@ def tss_worst_case(
     seed: int = DEFAULT_SEED,
     workers: int | None = None,
     cache: ResultCache | None = None,
+    policy: GridPolicy | None = None,
 ) -> ExperimentOutput:
     """Figs 13-14 (CTC) / 17-18 (SDSC): TSS vs SS vs NS vs IS worst cases."""
     preset = get_preset(trace)
@@ -327,7 +336,7 @@ def tss_worst_case(
         s for s in tuned_schemes(suspension_factors=(2.0,)) if "Tuned" in s.label
     ]
     results = compare_schemes_parallel(
-        jobs, preset.n_procs, specs, workers=workers, cache=cache
+        jobs, preset.n_procs, specs, workers=workers, cache=cache, policy=policy
     )
     data = {
         "slowdown": _mean_grids(results, "slowdown", statistic="worst"),
@@ -370,6 +379,7 @@ def estimate_impact(
     badly_fraction: float = 0.4,
     workers: int | None = None,
     cache: ResultCache | None = None,
+    policy: GridPolicy | None = None,
 ) -> ExperimentOutput:
     """Figs 19-24 (CTC) / 25-30 (SDSC): inaccurate user estimates.
 
@@ -384,7 +394,7 @@ def estimate_impact(
         trace, n_jobs, seed, estimates=InaccurateEstimates(badly_fraction=badly_fraction)
     )
     results = compare_schemes_parallel(
-        jobs, preset.n_procs, tuned_schemes(), workers=workers, cache=cache
+        jobs, preset.n_procs, tuned_schemes(), workers=workers, cache=cache, policy=policy
     )
     data: dict[str, Any] = {}
     blocks: list[str] = []
@@ -423,6 +433,7 @@ def overhead_impact(
     seed: int = DEFAULT_SEED,
     workers: int | None = None,
     cache: ResultCache | None = None,
+    policy: GridPolicy | None = None,
 ) -> ExperimentOutput:
     """Figs 31-34: SS with modelled suspend/restart overhead.
 
@@ -435,7 +446,7 @@ def overhead_impact(
     overhead = DiskSwapOverheadModel()
     tuned = [s for s in tuned_schemes(suspension_factors=(2.0,)) if "Tuned" in s.label]
     free = compare_schemes_parallel(
-        jobs, preset.n_procs, tuned, workers=workers, cache=cache
+        jobs, preset.n_procs, tuned, workers=workers, cache=cache, policy=policy
     )
     loaded = compare_schemes_parallel(
         jobs,
@@ -444,6 +455,7 @@ def overhead_impact(
         overhead_model=overhead,
         workers=workers,
         cache=cache,
+        policy=policy,
     )
     results = {
         "SF = 2": free["SF = 2 Tuned"],
@@ -490,6 +502,7 @@ def load_variation(
     seed: int = DEFAULT_SEED,
     workers: int | None = None,
     cache: ResultCache | None = None,
+    policy: GridPolicy | None = None,
 ) -> ExperimentOutput:
     """Figs 35-44: behaviour under scaled load.
 
@@ -529,7 +542,7 @@ def load_variation(
         )
         for load in loads
     ]
-    baselines = run_grid(baseline_cells, workers=workers, cache=cache).results
+    baselines = run_grid(baseline_cells, workers=workers, cache=cache, policy=policy).results
 
     # Phase 2: every (scheme, load) cell in one fan-out.
     cells: list[GridCell] = []
@@ -548,7 +561,7 @@ def load_variation(
                     scheduler_config=scheduler.config(),
                 )
             )
-    grid = run_grid(cells, workers=workers, cache=cache).results
+    grid = run_grid(cells, workers=workers, cache=cache, policy=policy).results
 
     utilization: dict[str, list[float]] = {s: [] for s in schemes}
     sd: dict[str, dict[tuple[str, str], list[float]]] = {s: {} for s in schemes}

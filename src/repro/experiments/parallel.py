@@ -1,40 +1,57 @@
-"""Process-pool experiment execution with deterministic merging.
+"""Fault-tolerant process-pool experiment execution with deterministic merging.
 
 The paper's evaluation is an embarrassingly parallel grid -- scheme x
 trace x seed x load x overhead cells that share nothing at run time --
 yet :func:`~repro.experiments.runner.compare_schemes` walks it serially.
-This module fans cells out over ``multiprocessing`` workers and merges
-the results deterministically:
+This module fans cells out over ``multiprocessing`` workers, survives
+worker crashes / hangs / killed pools, and merges the results
+deterministically:
 
 * every cell is a :class:`GridCell` -- pristine jobs plus a
   **JSON-stable scheduler config** (:meth:`Scheduler.config`), because
   scheduler *instances* are stateful, single-use and unpicklable
   (factories close over arbitrary state); the worker rebuilds a fresh
   instance via :func:`repro.schedulers.registry.scheduler_from_config`;
-* results are keyed by the cell's caller-chosen ``key`` and returned in
-  **input order**, never completion order, so a parallel run is
-  indistinguishable from a serial one (the simulator itself is
-  deterministic -- see :mod:`repro.sim.events`);
+* results are collected in **completion order** (so every fresh result
+  is committed to the :class:`~repro.experiments.cache.ResultCache` the
+  moment it exists -- a killed run loses zero finished cells) but merged
+  in **input order**, so a parallel run is indistinguishable from a
+  serial one (the simulator itself is deterministic -- see
+  :mod:`repro.sim.events`);
+* a :class:`GridPolicy` bounds each cell with a timeout and a retry
+  budget (exponential backoff), respawns a broken pool, and degrades to
+  in-process execution when the pool cannot be trusted; what happened is
+  reported structurally via :attr:`GridOutcome.failures`
+  (:class:`CellFailure` per disturbed cell) and
+  :class:`~repro.obs.counters.GridCounters`;
 * an optional :class:`~repro.experiments.cache.ResultCache` short-cuts
-  cells whose fingerprint was computed by any earlier run.
+  cells whose fingerprint was computed by any earlier run -- including a
+  run that crashed partway through, because commits are incremental.
 
 :func:`compare_schemes_parallel` is a drop-in replacement for
 :func:`~repro.experiments.runner.compare_schemes` (same signature plus
-``workers`` / ``cache``) whose output is verified byte-identical to the
-serial path by ``tests/test_parallel.py``.
+``workers`` / ``cache`` / ``policy``) whose output is verified
+byte-identical to the serial path by ``tests/test_parallel.py``; the
+recovery paths are proven by ``tests/test_fault_tolerance.py`` against
+the deterministic fault-injection harness in ``tests/fault_injection.py``.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import re
-from concurrent.futures import ProcessPoolExecutor
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 from repro.experiments.cache import ResultCache, cell_fingerprint, fingerprint_jobs
 from repro.experiments.runner import SchemeSpec, simulate
+from repro.obs.counters import GridCounters
 from repro.schedulers.easy import EasyBackfillScheduler
 from repro.schedulers.registry import scheduler_from_config
 from repro.sim.driver import SimulationResult, SuspensionOverheadModel
@@ -79,6 +96,102 @@ class GridCell:
         )
 
 
+@dataclass(frozen=True)
+class GridPolicy:
+    """Fault-tolerance knobs for one grid execution.
+
+    The defaults are deliberately conservative -- no timeout, no
+    retries, one pool respawn -- so an undisturbed grid behaves exactly
+    as before.  Timeouts only bind in pool mode: an in-process cell
+    cannot be preempted from within, so serial/degraded execution
+    honours the retry budget but not ``cell_timeout``.
+    """
+
+    #: seconds a cell may run on a worker before it is declared hung and
+    #: its worker culled (``None`` = wait forever).  The clock starts
+    #: when the cell is handed to the pool; submission is throttled to
+    #: the worker count, so queue wait does not eat into the budget.
+    cell_timeout: float | None = None
+    #: failed attempts a cell may retry beyond its first try
+    cell_retries: int = 0
+    #: base of the exponential backoff slept before a retry
+    #: (``backoff_base * 2**(failed_attempts - 1)`` seconds, 0 = none)
+    backoff_base: float = 0.5
+    #: ceiling on any single backoff sleep
+    backoff_max: float = 30.0
+    #: times a ``BrokenProcessPool`` may be answered by building a fresh
+    #: pool before the executor degrades to in-process execution
+    pool_respawns: int = 1
+
+    @classmethod
+    def from_env(
+        cls, env: Mapping[str, str] | None = None, prefix: str = "REPRO_BENCH_"
+    ) -> GridPolicy:
+        """Policy from ``<prefix>CELL_TIMEOUT`` / ``<prefix>CELL_RETRIES``.
+
+        Unset/empty variables keep the defaults; the benches use this so
+        ``REPRO_BENCH_CELL_TIMEOUT=120 REPRO_BENCH_CELL_RETRIES=2``
+        hardens a long overnight sweep without touching code.
+        """
+        if env is None:
+            env = os.environ
+        timeout = env.get(prefix + "CELL_TIMEOUT", "")
+        retries = env.get(prefix + "CELL_RETRIES", "")
+        return cls(
+            cell_timeout=float(timeout) if timeout else cls.cell_timeout,
+            cell_retries=int(retries) if retries else cls.cell_retries,
+        )
+
+
+@dataclass
+class CellFailure:
+    """What went wrong (and how it ended) for one disturbed cell.
+
+    Recorded in :attr:`GridOutcome.failures` for every cell that lost at
+    least one attempt, *including* cells that subsequently recovered --
+    the report is the forensic record the ROADMAP's production framing
+    requires, not just the error message of the final state.
+    """
+
+    key: str
+    #: exception type name of the most recent failure (``"TimeoutError"``
+    #: for hangs, ``"BrokenProcessPool"`` for cells lost with the pool)
+    exc_type: str
+    #: message of the most recent failure
+    message: str
+    #: failed attempts so far (pool losses are recorded but not charged)
+    attempts: int
+    #: what happened to the worker: ``"crashed"`` (raised), ``"hung"``
+    #: (exceeded the cell timeout, worker culled) or ``"lost"`` (the
+    #: pool died under it -- fault not attributable to this cell)
+    worker_fate: str
+    #: whether the cell eventually produced a result
+    resolved: bool = False
+    #: how it resolved: ``"retry"`` (same pool), ``"pool-respawn"``
+    #: (after a rebuild), ``"in-process"`` (degraded mode) or
+    #: ``"gave-up"`` (retry budget exhausted -- the grid raised)
+    resolution: str | None = None
+
+
+class GridExecutionError(RuntimeError):
+    """A cell exhausted its retry budget; the grid cannot complete.
+
+    Everything that *did* finish before the raise was already committed
+    to the cache (commits are incremental), so a re-run after fixing the
+    fault resumes with those cells as hits.  ``failures`` carries the
+    full :class:`CellFailure` report, ``key`` the fatal cell.
+    """
+
+    def __init__(self, key: str, failures: dict[str, CellFailure]) -> None:
+        fatal = failures[key]
+        super().__init__(
+            f"grid cell {key!r} failed permanently after {fatal.attempts} "
+            f"attempt(s): {fatal.exc_type}: {fatal.message}"
+        )
+        self.key = key
+        self.failures = failures
+
+
 @dataclass
 class GridOutcome:
     """What :func:`run_grid` hands back.
@@ -95,6 +208,12 @@ class GridOutcome:
     #: cell key -> written JSONL trace file, for cells with a
     #: ``trace_path`` (empty when nothing was traced)
     trace_paths: dict[str, str] = field(default_factory=dict)
+    #: cell key -> failure report, for every cell that lost at least one
+    #: attempt (empty on an undisturbed run; recovered cells appear here
+    #: with ``resolved=True``)
+    failures: dict[str, CellFailure] = field(default_factory=dict)
+    #: executor-level recovery tallies (all zeros when nothing happened)
+    counters: GridCounters = field(default_factory=GridCounters)
 
 
 def resolve_workers(workers: int | None) -> int:
@@ -110,12 +229,16 @@ def resolve_workers(workers: int | None) -> int:
     return max(int(workers), 1)
 
 
-def _simulate_cell(cell: GridCell) -> SimulationResult:
+def simulate_cell(cell: GridCell) -> SimulationResult:
     """Run one cell; module-level so worker processes can unpickle it.
 
     When the cell carries a ``trace_path`` the recorder is constructed
     *here*, inside the (possibly worker) process, so events stream
     straight to the per-cell file without crossing process boundaries.
+
+    This is also the executor's injection seam: :func:`run_grid` accepts
+    any picklable drop-in via ``simulate_fn`` -- the fault-injection
+    harness wraps this function to crash/hang/kill deterministically.
     """
     scheduler = scheduler_from_config(cell.scheduler_config)
     if cell.trace_path is not None:
@@ -139,37 +262,302 @@ def _simulate_cell(cell: GridCell) -> SimulationResult:
     )
 
 
+class _GridExecution:
+    """One fault-tolerant pass over the pending cells of a grid.
+
+    State machine per cell::
+
+        queued -> running -> committed
+                    |-- raised ----------> retry (backoff) or gave-up
+                    |-- past deadline ---> worker culled, retry or gave-up
+                    '-- pool died -------> resubmitted uncharged
+                                           (respawn budget, else degrade)
+
+    ``gave-up`` raises :class:`GridExecutionError`; every other edge
+    keeps the grid running.  Results are committed (slot + cache) in
+    completion order the moment they exist.
+    """
+
+    def __init__(
+        self,
+        cells: Sequence[GridCell],
+        slots: list[SimulationResult | None],
+        fingerprints: list[str | None],
+        cache: ResultCache | None,
+        policy: GridPolicy,
+        outcome: GridOutcome,
+        simulate_fn: Callable[[GridCell], SimulationResult],
+    ) -> None:
+        self.cells = cells
+        self.slots = slots
+        self.fingerprints = fingerprints
+        self.cache = cache
+        self.policy = policy
+        self.outcome = outcome
+        self.simulate_fn = simulate_fn
+        self.queue: deque[int] = deque()
+        self.attempts: dict[int, int] = {}
+        self.respawns_left = policy.pool_respawns
+        self.pool_generation = 0
+        self.degraded = False
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def _commit(self, i: int, result: SimulationResult) -> None:
+        """A fresh result exists: fill the slot and persist it *now*."""
+        self.slots[i] = result
+        self.outcome.executed += 1
+        cell = self.cells[i]
+        if self.cache is not None and cell.trace_path is None:
+            fp = self.fingerprints[i]
+            assert fp is not None
+            self.cache.put(fp, result)
+        failure = self.outcome.failures.get(cell.key)
+        if failure is not None and not failure.resolved:
+            failure.resolved = True
+            if self.degraded:
+                failure.resolution = "in-process"
+            elif self.pool_generation > 0:
+                failure.resolution = "pool-respawn"
+            else:
+                failure.resolution = "retry"
+
+    def _record_failure(
+        self, i: int, exc: BaseException, fate: str, charged: bool
+    ) -> CellFailure:
+        key = self.cells[i].key
+        if charged:
+            self.attempts[i] = self.attempts.get(i, 0) + 1
+        failure = CellFailure(
+            key=key,
+            exc_type=type(exc).__name__,
+            message=str(exc),
+            attempts=self.attempts.get(i, 0),
+            worker_fate=fate,
+        )
+        self.outcome.failures[key] = failure
+        return failure
+
+    def _charge_failed_attempt(self, i: int, exc: BaseException, fate: str) -> None:
+        """Charge a failed attempt: give up (raise) or sleep the backoff."""
+        failure = self._record_failure(i, exc, fate, charged=True)
+        if self.attempts[i] > self.policy.cell_retries:
+            failure.resolution = "gave-up"
+            raise GridExecutionError(failure.key, self.outcome.failures) from exc
+        self.outcome.counters.retries += 1
+        delay = min(
+            self.policy.backoff_max,
+            self.policy.backoff_base * 2 ** (self.attempts[i] - 1),
+        )
+        if delay > 0:
+            time.sleep(delay)
+
+    # ------------------------------------------------------------------
+    # in-process execution (serial mode, or degraded after pool loss)
+    # ------------------------------------------------------------------
+    def run_serial(self) -> None:
+        while self.queue:
+            i = self.queue.popleft()
+            if self.degraded:
+                self.outcome.counters.degraded_cells += 1
+            while True:
+                try:
+                    result = self.simulate_fn(self.cells[i])
+                except Exception as exc:
+                    self._charge_failed_attempt(i, exc, "crashed")
+                    continue  # retry in place, preserving cell order
+                self._commit(i, result)
+                break
+
+    # ------------------------------------------------------------------
+    # pool execution
+    # ------------------------------------------------------------------
+    def run_pool(self, n_workers: int) -> None:
+        while self.queue and not self.degraded:
+            pool = ProcessPoolExecutor(max_workers=n_workers)
+            try:
+                drained = self._drain_with_pool(pool, n_workers)
+            except BaseException:
+                _kill_pool(pool)
+                raise
+            if drained:
+                pool.shutdown(wait=True)
+                return
+            self.pool_generation += 1
+        if self.queue:  # pool given up on: finish in-process
+            self.run_serial()
+
+    def _drain_with_pool(self, pool: ProcessPoolExecutor, n_workers: int) -> bool:
+        """Pump the queue through *pool*.
+
+        Returns ``True`` once every cell committed; ``False`` when the
+        pool had to be abandoned (broken or hosting a hung worker) --
+        the in-flight cells are already back on the queue and the
+        respawn/degrade decision is taken.
+        """
+        inflight: dict[Future[SimulationResult], int] = {}
+        deadlines: dict[int, float] = {}
+        timeout = self.policy.cell_timeout
+        while self.queue or inflight:
+            while self.queue and len(inflight) < n_workers:
+                i = self.queue.popleft()
+                inflight[pool.submit(self.simulate_fn, self.cells[i])] = i
+                if timeout is not None:
+                    # repro-lint: disable=RPR002 -- executor deadline clock, not simulation state
+                    deadlines[i] = time.monotonic() + timeout
+            wait_for: float | None = None
+            if deadlines:
+                # repro-lint: disable=RPR002 -- executor deadline clock, not simulation state
+                wait_for = max(0.0, min(deadlines.values()) - time.monotonic())
+            done, _ = wait(set(inflight), timeout=wait_for, return_when=FIRST_COMPLETED)
+            if not done:
+                if self._cull_overdue(pool, inflight, deadlines):
+                    return False
+                continue
+            pool_lost = False
+            for fut in done:
+                i = inflight.pop(fut)
+                deadlines.pop(i, None)
+                exc = fut.exception()
+                if exc is None:
+                    self._commit(i, fut.result())
+                elif isinstance(exc, BrokenProcessPool):
+                    # the pool died under this cell; fault not attributable
+                    self._record_failure(i, exc, "lost", charged=False)
+                    self.queue.appendleft(i)
+                    pool_lost = True
+                else:
+                    self._charge_failed_attempt(i, exc, "crashed")
+                    self.queue.append(i)
+            if pool_lost:
+                for i in inflight.values():
+                    self._record_failure(
+                        i,
+                        BrokenProcessPool("pool died with cell in flight"),
+                        "lost",
+                        charged=False,
+                    )
+                    self.queue.appendleft(i)
+                self._abandon_pool(pool)
+                if self.respawns_left > 0:
+                    self.respawns_left -= 1
+                    self.outcome.counters.pool_respawns += 1
+                else:
+                    self.degraded = True
+                return False
+        return True
+
+    def _cull_overdue(
+        self,
+        pool: ProcessPoolExecutor,
+        inflight: dict[Future[SimulationResult], int],
+        deadlines: dict[int, float],
+    ) -> bool:
+        """Handle a wait() that expired: kill the pool if a cell is hung.
+
+        A hung worker cannot be reclaimed individually (process-pool
+        futures are uncancellable once running), so the whole pool is
+        culled and rebuilt; innocents go back on the queue uncharged.
+        Returns ``True`` when the pool was culled.
+        """
+        # repro-lint: disable=RPR002 -- executor deadline clock, not simulation state
+        now = time.monotonic()
+        overdue = {i for i in inflight.values() if deadlines.get(i, now + 1) <= now}
+        if not overdue:
+            return False  # spurious wakeup: no deadline actually passed
+        for i in inflight.values():
+            if i in overdue:
+                self.outcome.counters.timeouts += 1
+                self._charge_failed_attempt(
+                    i,
+                    TimeoutError(
+                        f"cell exceeded cell_timeout={self.policy.cell_timeout}s"
+                    ),
+                    "hung",
+                )
+                self.queue.append(i)
+            else:
+                self.queue.appendleft(i)
+        self._abandon_pool(pool)
+        self.outcome.counters.pool_respawns += 1
+        return True
+
+    def _abandon_pool(self, pool: ProcessPoolExecutor) -> None:
+        _kill_pool(pool)
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down without waiting on its (possibly hung) workers."""
+    processes = getattr(pool, "_processes", None) or {}
+    for proc in list(processes.values()):
+        try:
+            proc.kill()
+        except Exception:  # already dead / never started
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
 def run_grid(
     cells: Sequence[GridCell],
     workers: int | None = None,
     cache: ResultCache | None = None,
+    policy: GridPolicy | None = None,
+    counters: GridCounters | None = None,
+    simulate_fn: Callable[[GridCell], SimulationResult] | None = None,
 ) -> GridOutcome:
     """Execute *cells*, in parallel and/or from cache, merging deterministically.
 
     Parameters
     ----------
     cells:
-        The grid; keys must be unique.
+        The grid; keys must be unique (and so must any trace paths).
     workers:
         See :func:`resolve_workers`.  With one worker everything runs
         in-process (no pool, no pickling), which is also the fallback
         when only one cell needs simulating.
     cache:
-        Optional result cache; hits skip simulation entirely and fresh
-        results are stored back.
+        Optional result cache; hits skip simulation entirely and every
+        fresh result is stored back **the moment it completes**, so an
+        interrupted run resumes from its last finished cell.
+    policy:
+        Fault-tolerance knobs (:class:`GridPolicy`); ``None`` means the
+        conservative defaults (no timeout, no retries, one respawn).
+    counters:
+        Optional caller-owned :class:`~repro.obs.counters.GridCounters`
+        accumulator; when given it becomes ``outcome.counters``, letting
+        callers that only see the merged dict (the CLI) still report
+        recovery activity.
+    simulate_fn:
+        Drop-in for :func:`simulate_cell`; must be a picklable callable
+        (module-level function or :func:`functools.partial` of one) in
+        pool mode.  This is the fault-injection seam -- production code
+        never passes it.
 
     The result dict iterates in cell input order regardless of worker
     completion order, and each value is bit-for-bit the result a serial
     run would produce (the simulation itself is deterministic and
-    workers share nothing).
+    workers share nothing).  A cell that exhausts its retry budget
+    raises :class:`GridExecutionError` -- with everything already
+    finished safely committed to the cache.
     """
     keys = [c.key for c in cells]
     if len(set(keys)) != len(keys):
         dupes = sorted({k for k in keys if keys.count(k) > 1})
         raise ValueError(f"duplicate grid cell keys: {dupes}")
+    traced = [c.trace_path for c in cells if c.trace_path is not None]
+    if len(set(traced)) != len(traced):
+        dupes = sorted({p for p in traced if traced.count(p) > 1})
+        raise ValueError(
+            f"distinct cells share trace paths (their events would interleave): {dupes}"
+        )
 
+    if policy is None:
+        policy = GridPolicy()
+    if simulate_fn is None:
+        simulate_fn = simulate_cell
     slots: list[SimulationResult | None] = [None] * len(cells)
-    outcome = GridOutcome()
+    outcome = GridOutcome(counters=counters if counters is not None else GridCounters())
 
     # cache probe -- fingerprint each cell, memoising the workload hash
     # by identity (grids typically reuse one jobs list across schemes).
@@ -178,6 +566,7 @@ def run_grid(
     pending: list[int] = []
     fingerprints: list[str | None] = [None] * len(cells)
     if cache is not None:
+        quarantined_before = cache.corrupt
         jobs_fp_memo: dict[int, str] = {}
         for i, cell in enumerate(cells):
             if cell.trace_path is not None:
@@ -194,30 +583,20 @@ def run_grid(
                 outcome.cache_hits += 1
             else:
                 pending.append(i)
+        outcome.counters.cache_quarantines += cache.corrupt - quarantined_before
     else:
         pending = list(range(len(cells)))
 
     n_workers = min(resolve_workers(workers), max(len(pending), 1))
     if pending:
+        execution = _GridExecution(
+            cells, slots, fingerprints, cache, policy, outcome, simulate_fn
+        )
+        execution.queue.extend(pending)
         if n_workers > 1 and len(pending) > 1:
-            with ProcessPoolExecutor(max_workers=n_workers) as pool:
-                futures = [(i, pool.submit(_simulate_cell, cells[i])) for i in pending]
-                # collect in submission order: merging never depends on
-                # completion order
-                for i, fut in futures:
-                    slots[i] = fut.result()
+            execution.run_pool(n_workers)
         else:
-            for i in pending:
-                slots[i] = _simulate_cell(cells[i])
-        outcome.executed = len(pending)
-        if cache is not None:
-            for i in pending:
-                if cells[i].trace_path is not None:
-                    continue  # traced runs are never cached (see above)
-                fp = fingerprints[i]
-                result = slots[i]
-                assert fp is not None and result is not None
-                cache.put(fp, result)
+            execution.run_serial()
 
     for cell, result in zip(cells, slots, strict=True):
         assert result is not None
@@ -227,17 +606,49 @@ def run_grid(
     return outcome
 
 
+def _sanitise_key(key: str) -> str:
+    """Filesystem-safe stem for a free-form cell key."""
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", key).strip("_") or "cell"
+
+
 def trace_file_for_key(trace_dir: str | Path, key: str) -> str:
     """Per-cell JSONL path under *trace_dir*, with a filesystem-safe name.
 
     Cell keys are free-form labels (``"SF = 1.5"``, ``"(SS, load 1.2)"``);
     every run of characters outside ``[A-Za-z0-9._-]`` collapses to one
-    underscore.  Distinct keys that sanitise identically would collide,
-    so callers with adversarial key sets should pick their own paths via
-    :attr:`GridCell.trace_path`.
+    underscore.  Distinct keys that sanitise identically would collide --
+    :func:`trace_files_for_keys` detects that across a whole key set and
+    disambiguates with a key-hash suffix; prefer it whenever more than
+    one cell is traced into the same directory.
     """
-    safe = re.sub(r"[^A-Za-z0-9._-]+", "_", key).strip("_") or "cell"
-    return str(Path(trace_dir) / f"{safe}.jsonl")
+    return str(Path(trace_dir) / f"{_sanitise_key(key)}.jsonl")
+
+
+def trace_files_for_keys(
+    trace_dir: str | Path, keys: Sequence[str]
+) -> dict[str, str]:
+    """Collision-free per-cell JSONL paths for *keys* under *trace_dir*.
+
+    Keys whose sanitised stems are unique get the plain
+    :func:`trace_file_for_key` name; keys that collide (``"SS load=1.2"``
+    vs ``"SS load 1.2"`` both sanitise to ``SS_load_1.2``) each get a
+    short hash of the *original* key appended, so no two cells can ever
+    silently interleave their events in one file.
+    """
+    stems: dict[str, list[str]] = {}
+    for key in keys:
+        stems.setdefault(_sanitise_key(key), []).append(key)
+    paths: dict[str, str] = {}
+    for stem, group in stems.items():
+        if len(group) == 1:
+            paths[group[0]] = str(Path(trace_dir) / f"{stem}.jsonl")
+        else:
+            for key in group:
+                suffix = hashlib.sha256(key.encode()).hexdigest()[:8]
+                paths[key] = str(Path(trace_dir) / f"{stem}-{suffix}.jsonl")
+    if len(set(paths.values())) != len(paths):  # pragma: no cover - hash clash
+        raise ValueError(f"could not disambiguate trace paths for keys: {sorted(keys)}")
+    return paths
 
 
 def compare_schemes_parallel(
@@ -249,22 +660,25 @@ def compare_schemes_parallel(
     workers: int | None = None,
     cache: ResultCache | None = None,
     trace_dir: str | Path | None = None,
+    policy: GridPolicy | None = None,
+    counters: GridCounters | None = None,
 ) -> dict[str, SimulationResult]:
-    """Parallel, cache-aware drop-in for :func:`compare_schemes`.
+    """Parallel, cache-aware, fault-tolerant drop-in for :func:`compare_schemes`.
 
     Semantics match the serial function exactly: TSS specs flagged
     ``needs_baseline`` receive limits calibrated from one shared NS
     (EASY) run over the same trace.  The baseline runs first (it is a
     dependency, and itself cacheable); the scheme cells then fan out
-    over *workers* processes.
+    over *workers* processes under *policy*'s timeout/retry rules.
 
     Output is keyed by scheme label in scheme order, byte-identical to
     ``compare_schemes(jobs, n_procs, schemes, overhead_model)``.
 
     With *trace_dir*, every scheme cell additionally streams its JSONL
-    decision trace to ``trace_dir/<sanitised-label>.jsonl`` (written by
-    the worker that simulates the cell -- see
-    :func:`trace_file_for_key`).  Tracing never changes schedules, so
+    decision trace to a per-label file under that directory (written by
+    the worker that simulates the cell); labels whose sanitised names
+    would collide are disambiguated with a key-hash suffix -- see
+    :func:`trace_files_for_keys`.  Tracing never changes schedules, so
     the returned results are identical either way; traced cells do
     bypass the result cache (a cache hit would leave no trace file).
     """
@@ -277,10 +691,19 @@ def compare_schemes_parallel(
             scheduler_config=EasyBackfillScheduler().config(),
             overhead_model=overhead_model,
         )
-        baseline = run_grid([baseline_cell], workers=None, cache=cache).results[
-            BASELINE_KEY
-        ]
+        baseline = run_grid(
+            [baseline_cell],
+            workers=None,
+            cache=cache,
+            policy=policy,
+            counters=counters,
+        ).results[BASELINE_KEY]
 
+    trace_paths: dict[str, str] = (
+        trace_files_for_keys(trace_dir, [s.label for s in schemes])
+        if trace_dir is not None
+        else {}
+    )
     cells: list[GridCell] = []
     for spec in schemes:
         if spec.needs_baseline:
@@ -295,11 +718,9 @@ def compare_schemes_parallel(
                 n_procs=n_procs,
                 scheduler_config=scheduler.config(),
                 overhead_model=overhead_model,
-                trace_path=(
-                    trace_file_for_key(trace_dir, spec.label)
-                    if trace_dir is not None
-                    else None
-                ),
+                trace_path=trace_paths.get(spec.label),
             )
         )
-    return run_grid(cells, workers=workers, cache=cache).results
+    return run_grid(
+        cells, workers=workers, cache=cache, policy=policy, counters=counters
+    ).results

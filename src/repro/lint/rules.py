@@ -423,7 +423,7 @@ _JSON_SAFE_CALLS = frozenset(
 class CachePurityChecker(Checker):
     """RPR005: cached/parallel cells must be JSON-stable and picklable.
 
-    Two concrete shapes:
+    Three concrete shapes:
 
     * a ``config()`` override returning values the cache fingerprint
       cannot stably serialise (lambdas, sets -- iteration order leaks
@@ -432,11 +432,86 @@ class CachePurityChecker(Checker):
       the registry rebuilds from;
     * submitting a ``lambda`` or nested function to a process pool
       (unpicklable, and closing over process-local state even when a
-      fork makes it *appear* to work).
+      fork makes it *appear* to work);
+    * a cache **read** path (``get`` / ``__contains__`` / ``__len__`` of
+      a ``*Cache`` class, including the ``self._helper()`` methods they
+      call) mutating the filesystem -- a probe that deletes or rewrites
+      entries turns concurrent readers into writers and destroys the
+      evidence of corruption.  The one sanctioned mutation is the
+      quarantine rename: ``rename``/``replace`` whose call carries a
+      ``".corrupt"`` string constant moves an unreadable entry aside
+      instead of destroying it.
     """
 
     rule: ClassVar[str] = "RPR005"
     title: ClassVar[str] = "trace/cache purity violation"
+
+    #: cache methods that must behave as reads
+    _READ_METHODS: ClassVar[frozenset[str]] = frozenset(
+        {"get", "__contains__", "__len__"}
+    )
+    #: attribute calls that mutate the filesystem (Path / os / shutil)
+    _FS_MUTATORS: ClassVar[frozenset[str]] = frozenset(
+        {"unlink", "remove", "rmtree", "rename", "replace", "rmdir",
+         "write_bytes", "write_text", "touch"}
+    )
+    #: mutators the quarantine sanction can bless
+    _QUARANTINE_OK: ClassVar[frozenset[str]] = frozenset({"rename", "replace"})
+
+    # -- cache read-path mutations ---------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if node.name.endswith("Cache"):
+            self._check_cache_read_paths(node)
+        self.generic_visit(node)
+
+    def _check_cache_read_paths(self, cls: ast.ClassDef) -> None:
+        methods = {
+            stmt.name: stmt
+            for stmt in cls.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        seen: set[str] = set()
+        work = [name for name in self._READ_METHODS if name in methods]
+        while work:
+            name = work.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            for sub in ast.walk(methods[name]):
+                if not isinstance(sub, ast.Call):
+                    continue
+                fn = sub.func
+                if not isinstance(fn, ast.Attribute):
+                    continue
+                if (
+                    isinstance(fn.value, ast.Name)
+                    and fn.value.id == "self"
+                    and fn.attr in methods
+                ):
+                    work.append(fn.attr)  # follow read-path helpers
+                    continue
+                if fn.attr in self._FS_MUTATORS:
+                    if fn.attr in self._QUARANTINE_OK and self._is_quarantine(sub):
+                        continue
+                    self.flag(
+                        sub,
+                        f".{fn.attr}() on the cache read path (via "
+                        f"{cls.name}.{name}); reads must not mutate the store "
+                        '-- quarantine unreadable entries (rename to ".corrupt") '
+                        "instead of deleting or rewriting them",
+                    )
+
+    @staticmethod
+    def _is_quarantine(call: ast.Call) -> bool:
+        """A rename/replace whose call subtree names ``.corrupt``."""
+        for sub in ast.walk(call):
+            if (
+                isinstance(sub, ast.Constant)
+                and isinstance(sub.value, str)
+                and ".corrupt" in sub.value
+            ):
+                return True
+        return False
 
     # -- config() returns ------------------------------------------------
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:

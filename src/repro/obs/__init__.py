@@ -33,7 +33,7 @@ noise floor (<2 %).  The schema itself is documented as a stable
 contract in ``docs/TRACING.md``.
 """
 
-from repro.obs.counters import DENIAL_CAUSES, TraceCounters
+from repro.obs.counters import DENIAL_CAUSES, GridCounters, TraceCounters
 from repro.obs.events import (
     DECISION_ACTIONS,
     EVENT_TYPES,
@@ -49,12 +49,18 @@ from repro.obs.recorder import (
     TraceRecorder,
     read_trace,
 )
-from repro.obs.summary import TraceSummary, format_summary, summarize_trace
+from repro.obs.summary import (
+    TraceSummary,
+    format_grid_counters,
+    format_summary,
+    summarize_trace,
+)
 
 __all__ = [
     "DECISION_ACTIONS",
     "DENIAL_CAUSES",
     "EVENT_TYPES",
+    "GridCounters",
     "InMemoryRecorder",
     "JsonlRecorder",
     "NULL_RECORDER",
@@ -65,6 +71,7 @@ __all__ = [
     "TraceRecorder",
     "TraceSummary",
     "Tracer",
+    "format_grid_counters",
     "format_summary",
     "read_trace",
     "summarize_trace",

@@ -16,7 +16,7 @@ both the driver's own totals and an independent replay of the trace
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 #: Denial-cause vocabulary (the ``cause`` field of ``decision`` events
 #: and the keys of :attr:`TraceCounters.preempt_denials`).
@@ -84,3 +84,34 @@ class TraceCounters:
     def max_queue_depth(self) -> int:
         """Largest queue length ever sampled (0 for an empty series)."""
         return max((d for _, d in self.queue_depth), default=0)
+
+
+@dataclass
+class GridCounters:
+    """Fault-recovery tallies for one grid execution.
+
+    Maintained by :func:`repro.experiments.parallel.run_grid` (not by
+    the tracer -- these count *executor* events, which exist outside any
+    single simulation) and surfaced on
+    :attr:`repro.experiments.parallel.GridOutcome.counters` so summaries
+    can report what the fault-tolerance machinery actually did.  All
+    zeros -- the instance is falsy -- on an undisturbed run.
+    """
+
+    #: cells resubmitted after a failed attempt (crash or timeout)
+    retries: int = 0
+    #: attempts abandoned because they exceeded the per-cell timeout
+    timeouts: int = 0
+    #: process pools rebuilt (after ``BrokenProcessPool`` or a hung worker)
+    pool_respawns: int = 0
+    #: cells executed in-process after the pool was given up on
+    degraded_cells: int = 0
+    #: corrupt cache entries quarantined during the cache probe
+    cache_quarantines: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return asdict(self)
+
+    def __bool__(self) -> bool:
+        """True when any recovery machinery fired."""
+        return any(asdict(self).values())

@@ -25,6 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
+from repro.obs.counters import GridCounters
+
 #: Eq. 1's bounded-slowdown threshold, restated here on purpose: the
 #: replay must not import the metrics package it is meant to witness.
 _SLOWDOWN_THRESHOLD = 10.0
@@ -253,3 +255,16 @@ def format_summary(s: TraceSummary) -> str:
             + ("consistent with driver totals" if verdict else "MISMATCH vs driver totals")
         )
     return "\n".join(lines)
+
+
+def format_grid_counters(counters: GridCounters) -> str:
+    """One-line report of what the grid's fault-recovery machinery did.
+
+    Meant for the CLI / bench logs after a parallel grid: silent runs
+    print nothing (callers gate on ``if counters:``), disturbed runs get
+    an explicit record of every retry, timeout, pool respawn,
+    degradation and cache quarantine.
+    """
+    fields = counters.as_dict()
+    parts = " ".join(f"{name}={value}" for name, value in fields.items())
+    return f"grid recovery: {parts}"

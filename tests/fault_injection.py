@@ -1,0 +1,148 @@
+"""Deterministic fault injection for the grid executor.
+
+:func:`run_grid`'s recovery paths (retry, timeout cull, pool respawn,
+degradation) only fire when workers misbehave, so the tests need a
+simulate function that misbehaves *on purpose* -- and does so the same
+way every run, across processes, exactly ``times`` times per cell.
+
+The moving parts:
+
+* :class:`FaultSpec` -- what one cell does wrong (``CRASH`` raises,
+  ``HANG`` sleeps forever, ``KILL`` SIGKILLs the worker so the whole
+  pool breaks, ``KILL_RUN`` SIGKILLs the worker's *parent* -- the
+  coordinator process -- for crash-resume acceptance tests) and how
+  many attempts it poisons.
+* :class:`FaultPlan` -- cell key -> :class:`FaultSpec`, plus a state
+  directory.  Workers are separate processes sharing no memory, so
+  "which attempt is this?" is decided by **atomically claiming marker
+  files** (``os.open`` with ``O_CREAT | O_EXCL``) under ``state_dir``:
+  the first process to claim marker ``n`` performs faulty attempt
+  ``n``; once all ``times`` markers exist every later attempt runs the
+  real simulation.  The claim is race-free even if a retry lands on a
+  different worker -- or, after a pool respawn, in a different pool.
+* :func:`faulty_simulate` -- the drop-in for
+  :func:`repro.experiments.parallel.simulate_cell`.  Bind the plan with
+  ``functools.partial(faulty_simulate, plan)``: a partial of a
+  module-level function over a frozen dataclass of strings stays
+  picklable, which pool submission requires.
+
+Everything here is test infrastructure; production code never imports
+this module.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+from repro.experiments.parallel import GridCell, simulate_cell
+from repro.sim.driver import SimulationResult
+
+#: raise inside the worker; the executor sees an ordinary cell failure
+CRASH = "crash"
+#: sleep far past any test timeout; only a cell_timeout cull ends it
+HANG = "hang"
+#: SIGKILL the worker process itself -> BrokenProcessPool upstream
+KILL = "kill"
+#: SIGKILL the worker's parent (the coordinating test subprocess) --
+#: simulates the whole run dying mid-grid for resume acceptance tests
+KILL_RUN = "kill_run"
+
+KINDS = (CRASH, HANG, KILL, KILL_RUN)
+
+#: how long a HANG sleeps; effectively forever next to test timeouts
+HANG_SECONDS = 3600.0
+
+
+class InjectedCrash(RuntimeError):
+    """The deliberate failure :data:`CRASH` raises -- never seen in
+    production, so tests can assert on the exact exception type."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """What one cell does wrong, and for how many attempts."""
+
+    kind: str
+    #: number of attempts poisoned before the cell starts succeeding
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; one of {KINDS}")
+        if self.times < 1:
+            raise ValueError("times must be >= 1")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic, cross-process schedule of injected faults.
+
+    Frozen and string-keyed so a ``functools.partial`` over it pickles
+    into pool workers unchanged.
+    """
+
+    #: directory for the attempt-claim marker files; must outlive the
+    #: grid run (tests pass ``tmp_path`` subdirectories)
+    state_dir: str
+    #: cell key -> fault; unlisted cells simulate normally
+    faults: Mapping[str, FaultSpec] = field(default_factory=dict)
+
+    def attempts_claimed(self, key: str) -> int:
+        """How many faulty attempts of *key* have been performed."""
+        spec = self.faults.get(key)
+        if spec is None:
+            return 0
+        return sum(
+            1 for n in range(spec.times) if _marker(self.state_dir, key, n).exists()
+        )
+
+
+def _marker(state_dir: str, key: str, n: int) -> Path:
+    digest = hashlib.sha256(key.encode()).hexdigest()[:16]
+    return Path(state_dir) / f"{digest}.{n}"
+
+
+def _claim(state_dir: str, key: str, times: int) -> bool:
+    """Atomically claim the next faulty attempt of *key*, if any remain.
+
+    ``O_CREAT | O_EXCL`` makes creation a test-and-set: exactly one
+    process wins each marker, so exactly ``times`` attempts fault no
+    matter how attempts are distributed over workers and pools.
+    """
+    os.makedirs(state_dir, exist_ok=True)
+    for n in range(times):
+        try:
+            fd = os.open(_marker(state_dir, key, n), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            continue
+        os.close(fd)
+        return True
+    return False
+
+
+def faulty_simulate(plan: FaultPlan, cell: GridCell) -> SimulationResult:
+    """:func:`simulate_cell` with *plan*'s faults injected.
+
+    Module-level on purpose -- bind the plan with ``functools.partial``
+    so the resulting callable pickles into pool workers.
+    """
+    spec = plan.faults.get(cell.key)
+    if spec is not None and _claim(plan.state_dir, cell.key, spec.times):
+        if spec.kind == CRASH:
+            raise InjectedCrash(f"injected crash for cell {cell.key!r}")
+        if spec.kind == HANG:
+            time.sleep(HANG_SECONDS)
+            raise InjectedCrash(f"hung cell {cell.key!r} unexpectedly woke up")
+        if spec.kind == KILL:
+            os.kill(os.getpid(), signal.SIGKILL)
+        if spec.kind == KILL_RUN:
+            os.kill(os.getppid(), signal.SIGKILL)
+            # the parent is gone; die too so the cell never completes
+            os.kill(os.getpid(), signal.SIGKILL)
+    return simulate_cell(cell)

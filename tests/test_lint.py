@@ -497,6 +497,93 @@ class TestRPR005:
         """
         assert findings_for(src, "experiments/x.py", select={"RPR005"}) == []
 
+    # -- cache read-path mutations ------------------------------------
+    def test_unlink_in_cache_get_fires(self) -> None:
+        # the historical bug shape: "clean up" corrupt entries on read
+        src = """
+            class ResultCache:
+                def get(self, fp):
+                    path = self._path(fp)
+                    try:
+                        return load(path)
+                    except Exception:
+                        path.unlink()
+                        return None
+        """
+        found = findings_for(src, "experiments/cache.py", select={"RPR005"})
+        assert found and "read path" in found[0].message
+
+    def test_quarantine_rename_in_cache_get_is_clean(self) -> None:
+        src = """
+            class ResultCache:
+                def get(self, fp):
+                    path = self._path(fp)
+                    try:
+                        return load(path)
+                    except Exception:
+                        path.rename(path.with_name(path.name + ".corrupt"))
+                        return None
+        """
+        assert findings_for(src, "experiments/cache.py", select={"RPR005"}) == []
+
+    def test_non_quarantine_rename_in_cache_get_fires(self) -> None:
+        src = """
+            class ResultCache:
+                def get(self, fp):
+                    path = self._path(fp)
+                    try:
+                        return load(path)
+                    except Exception:
+                        path.rename(path.with_suffix(".bak"))
+                        return None
+        """
+        assert "RPR005" in rules_of(
+            findings_for(src, "experiments/cache.py", select={"RPR005"})
+        )
+
+    def test_mutation_in_read_path_helper_fires(self) -> None:
+        # helpers reached from get() are part of the read path too
+        src = """
+            class ResultCache:
+                def get(self, fp):
+                    try:
+                        return load(self._path(fp))
+                    except Exception:
+                        self._drop(self._path(fp))
+                        return None
+
+                def _drop(self, path):
+                    path.unlink()
+        """
+        assert "RPR005" in rules_of(
+            findings_for(src, "experiments/cache.py", select={"RPR005"})
+        )
+
+    def test_write_path_mutations_are_clean(self) -> None:
+        src = """
+            class ResultCache:
+                def get(self, fp):
+                    return load(self._path(fp))
+
+                def put(self, fp, result):
+                    os.replace(tmp, self._path(fp))
+
+                def clear(self):
+                    for p in self.root.glob("*/*.pkl"):
+                        p.unlink()
+        """
+        assert findings_for(src, "experiments/cache.py", select={"RPR005"}) == []
+
+    def test_non_cache_class_read_methods_exempt(self) -> None:
+        src = """
+            class Workspace:
+                def get(self, name):
+                    path = self.root / name
+                    path.unlink()
+                    return path
+        """
+        assert findings_for(src, "experiments/x.py", select={"RPR005"}) == []
+
 
 # ----------------------------------------------------------------------
 # RPR006 -- mutable defaults / shared class-level state

@@ -287,7 +287,7 @@ def test_jobs_fingerprint_order_sensitive(small_trace):
 
 
 def test_cache_survives_corrupt_entry(small_trace, tmp_path):
-    """A truncated cache file is treated as a miss, not an error."""
+    """A garbage cache file is quarantined and treated as a miss."""
     cache = ResultCache(tmp_path / "cache")
     cell = GridCell(
         key="x",
@@ -302,6 +302,34 @@ def test_cache_survives_corrupt_entry(small_trace, tmp_path):
     assert outcome.executed == 1  # re-simulated despite the bad file
     assert outcome.results["x"].n_procs == N_PROCS
 
+    # the poisoned bytes were moved aside, not destroyed or served
+    assert cache.corrupt == 1
+    assert outcome.counters.cache_quarantines == 1
+    quarantined = path.with_name(path.name + ".corrupt")
+    assert quarantined.read_bytes() == b"not a pickle"
+    # ... the fresh result repaired the canonical slot in passing ...
+    assert path.exists() and len(cache) == 1  # *.corrupt is not an entry
+    # ... so the next run is a plain hit again
+    third = run_grid([cell], cache=cache)
+    assert third.cache_hits == 1 and third.executed == 0
+    assert cache.corrupt == 1  # no new quarantine
+    assert schedule_signature(third.results["x"]) == schedule_signature(
+        outcome.results["x"]
+    )
+
+
+def test_grid_policy_from_env():
+    from repro.experiments import GridPolicy
+
+    assert GridPolicy.from_env({}) == GridPolicy()
+    assert GridPolicy.from_env(
+        {"REPRO_BENCH_CELL_TIMEOUT": "120", "REPRO_BENCH_CELL_RETRIES": "2"}
+    ) == GridPolicy(cell_timeout=120.0, cell_retries=2)
+    # empty values keep the defaults, other policy knobs untouched
+    env_policy = GridPolicy.from_env({"REPRO_BENCH_CELL_TIMEOUT": ""})
+    assert env_policy.cell_timeout is None
+    assert env_policy.pool_respawns == GridPolicy().pool_respawns
+
 
 # ----------------------------------------------------------------------
 # per-cell tracing through the grid (docs/TRACING.md)
@@ -312,6 +340,41 @@ def test_trace_file_for_key_sanitises():
     assert trace_file_for_key("d", "SF = 1.5").endswith("SF_1.5.jsonl")
     assert trace_file_for_key("d", "(SS, load 1.2)").endswith("SS_load_1.2.jsonl")
     assert trace_file_for_key("d", "///").endswith("cell.jsonl")
+
+
+def test_trace_files_for_keys_disambiguates_collisions():
+    from repro.experiments.parallel import trace_file_for_key, trace_files_for_keys
+
+    # non-colliding keys keep the plain sanitised name
+    plain = trace_files_for_keys("d", ["SF = 1.5", "SF = 2.0"])
+    assert plain == {
+        "SF = 1.5": trace_file_for_key("d", "SF = 1.5"),
+        "SF = 2.0": trace_file_for_key("d", "SF = 2.0"),
+    }
+
+    # distinct keys that sanitise identically each get a key-hash suffix
+    paths = trace_files_for_keys("d", ["SS load=1.2", "SS load 1.2"])
+    assert len(set(paths.values())) == 2  # no silent interleaving
+    for key, path in paths.items():
+        assert path.startswith(str(__import__("pathlib").Path("d") / "SS_load_1.2-"))
+        assert path.endswith(".jsonl")
+    # the suffix depends only on the key: stable across calls
+    assert trace_files_for_keys("d", ["SS load=1.2", "SS load 1.2"]) == paths
+
+
+def test_run_grid_rejects_shared_trace_paths(small_trace, tmp_path):
+    cells = [
+        GridCell(
+            key=key,
+            jobs=small_trace,
+            n_procs=N_PROCS,
+            scheduler_config=EasyBackfillScheduler().config(),
+            trace_path=str(tmp_path / "same.jsonl"),
+        )
+        for key in ("a", "b")
+    ]
+    with pytest.raises(ValueError, match="share trace paths"):
+        run_grid(cells)
 
 
 def test_run_grid_writes_traces_and_bypasses_cache(small_trace, tmp_path):

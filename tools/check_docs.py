@@ -53,7 +53,7 @@ DEFAULT_DOCS = (
 
 #: only these docs get their fenced blocks *executed* (the others are
 #: still link/anchor checked -- their fences quote output, not input)
-EXECUTABLE_DOCS = ("README.md", "docs/TRACING.md", "docs/STATIC_ANALYSIS.md")
+EXECUTABLE_DOCS = ("README.md", "docs/TRACING.md", "docs/STATIC_ANALYSIS.md", "DESIGN.md")
 
 RUN_MARKER = "<!-- docs-check: run -->"
 SKIP_MARKER = "<!-- docs-check: skip -->"

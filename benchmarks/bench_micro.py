@@ -29,6 +29,8 @@ from __future__ import annotations
 
 from typing import Iterable
 
+import pytest
+
 from repro.cluster.machine import AllocationError, Cluster
 from repro.core.priorities import suspension_priority
 from repro.core.selective_suspension import SelectiveSuspensionScheduler
@@ -38,6 +40,7 @@ from repro.sim.driver import SchedulingSimulation
 from repro.sim.events import EventKind, EventQueue
 from repro.workload.job import Job, fresh_copies
 from repro.workload.load import scale_load
+from repro.workload.swf import stream_jobs, stream_swf, write_synthetic_swf
 from repro.workload.synthetic import generate_trace
 from tests.conftest import run_sim
 
@@ -585,3 +588,38 @@ def test_sweep_priority_snapshot_identical():
     assert _schedule_signature(fast) == _schedule_signature(slow)
     assert fast.total_suspensions == slow.total_suspensions
     assert fast.makespan == slow.makespan
+
+
+# ----------------------------------------------------------------------
+# ingestion: streaming SWF parse / convert throughput
+# ----------------------------------------------------------------------
+#: records in the bench log; large enough that per-record costs dominate
+#: file-open overhead, small enough to keep the suite fast.  The >=100k
+#: peak-RSS assertion lives in tools/bench_gate.py (it needs subprocess
+#: isolation to measure ru_maxrss, which pytest-benchmark cannot give).
+INGEST_LINES = 20_000
+
+
+@pytest.fixture(scope="module")
+def ingest_log(tmp_path_factory):
+    path = tmp_path_factory.mktemp("ingest") / "ingest.swf"
+    write_synthetic_swf(path, INGEST_LINES)
+    return path
+
+
+def test_swf_stream_parse(benchmark, ingest_log):
+    """Raw streaming parse rate: lines -> SWFRecord, no conversion."""
+
+    def run() -> int:
+        return sum(1 for _ in stream_swf(ingest_log))
+
+    assert benchmark(run) == INGEST_LINES
+
+
+def test_swf_stream_to_jobs(benchmark, ingest_log):
+    """Full ingestion rate: parse + hygiene filters + Job construction."""
+
+    def run() -> int:
+        return sum(1 for _ in stream_jobs(stream_swf(ingest_log), max_procs=128))
+
+    assert benchmark(run) == INGEST_LINES

@@ -1,36 +1,36 @@
 #!/usr/bin/env python3
-"""Replay a real Standard Workload Format log.
+"""Replay a real Standard Workload Format log through the streaming pipeline.
 
 The reproduction ships calibrated synthetic workloads, but the whole
 point of the SWF layer is that a real Parallel Workloads Archive log
-(CTC-SP2, SDSC-SP2, KTH-SP2, ...) drops straight in.  This example:
+(CTC-SP2, SDSC-SP2, KTH-SP2, ...) drops straight in -- without ever
+being materialised.  This example:
 
 1. takes an SWF path on the command line (or synthesises a demo file
    so the example is runnable offline);
-2. applies the standard hygiene filters;
-3. runs NS, SS and IS over the first N jobs and prints the comparison.
+2. streams it through :func:`repro.workload.pipeline.open_workload`
+   (constant-memory parse + hygiene filters + lazy transformations);
+3. replays it in time-windowed shards through the crash-safe grid
+   executor (:func:`repro.experiments.parallel.replay_sharded`) under
+   NS, SS and IS, and prints the comparison plus each replay's outcome
+   fingerprint (the byte-identity witness from docs/WORKLOADS.md).
 
-Run:  python examples/replay_swf_log.py [path/to/log.swf] [n_jobs]
+Run:  python examples/replay_swf_log.py [path/to/log.swf] [window_hours]
 """
 
 import sys
 import tempfile
 from pathlib import Path
 
-from repro import simulate
-from repro.analysis.report import scheme_comparison_report
 from repro.core import ImmediateServiceScheduler, SelectiveSuspensionScheduler
+from repro.experiments.parallel import replay_sharded
+from repro.metrics.aggregate import overall_stats
 from repro.schedulers import EasyBackfillScheduler
-from repro.workload.swf import (
-    jobs_from_swf_records,
-    jobs_to_swf_records,
-    read_swf,
-    read_swf_header,
-    write_swf,
-)
+from repro.workload.pipeline import WorkloadPipeline, open_workload
+from repro.workload.swf import jobs_to_swf_records, read_swf_header, write_swf
 from repro.workload.synthetic import generate_trace
 
-MACHINE_PROCS = 128  # SDSC SP2 size; adjust to the log's machine
+MACHINE_PROCS = 128  # SDSC SP2 size; overridden by the log's own header
 
 
 def demo_swf() -> Path:
@@ -40,7 +40,7 @@ def demo_swf() -> Path:
     write_swf(
         path,
         jobs_to_swf_records(jobs),
-        header={"Computer": "synthetic SDSC-shaped demo", "MaxNodes": "128"},
+        header={"Computer": "synthetic SDSC-shaped demo", "MaxProcs": "128"},
     )
     print(f"(no SWF given -- wrote a synthetic demo log to {path})\n")
     return path
@@ -48,7 +48,7 @@ def demo_swf() -> Path:
 
 def main() -> None:
     path = Path(sys.argv[1]) if len(sys.argv) > 1 else demo_swf()
-    n_jobs = int(sys.argv[2]) if len(sys.argv) > 2 else 600
+    window_hours = float(sys.argv[2]) if len(sys.argv) > 2 else 24.0
 
     header = read_swf_header(path)
     if header:
@@ -57,22 +57,33 @@ def main() -> None:
             print(f"  {key}: {value}")
         print()
 
-    records = read_swf(path)
-    jobs = jobs_from_swf_records(records, max_procs=MACHINE_PROCS)[:n_jobs]
-    print(f"parsed {len(records)} records -> {len(jobs)} simulate-ready jobs\n")
+    n_procs = MACHINE_PROCS
+    if header and header.get("MaxProcs", "").isdigit():
+        n_procs = int(header["MaxProcs"])
 
-    results = {
-        "No Suspension": simulate(jobs, EasyBackfillScheduler(), MACHINE_PROCS),
-        "SS (SF=2)": simulate(
-            jobs, SelectiveSuspensionScheduler(suspension_factor=2.0), MACHINE_PROCS
-        ),
-        "IS": simulate(jobs, ImmediateServiceScheduler(), MACHINE_PROCS),
+    pipeline = WorkloadPipeline()  # identity; add stages to rescale/re-estimate
+    schemes = {
+        "No Suspension": EasyBackfillScheduler(),
+        "SS (SF=2)": SelectiveSuspensionScheduler(suspension_factor=2.0),
+        "IS": ImmediateServiceScheduler(),
     }
-    print(
-        scheme_comparison_report(
-            f"replay of {path.name}", results, metric="slowdown"
+
+    print(f"replay of {path.name}  ({window_hours:g} h shards, {n_procs} procs)")
+    print(f"{'scheme':<16} {'jobs':>6} {'shards':>6} {'mean slowdown':>14}  fingerprint")
+    for label, scheduler in schemes.items():
+        stream = open_workload(path, pipeline, max_procs=n_procs)
+        outcome = replay_sharded(
+            stream,
+            n_procs,
+            scheduler.config(),
+            window=window_hours * 3600.0,
+            provenance={"pipeline": pipeline.fingerprint(), "source": path.name},
         )
-    )
+        stats = overall_stats(outcome.jobs)
+        print(
+            f"{label:<16} {len(outcome.jobs):>6} {outcome.shards:>6} "
+            f"{stats.slowdown.mean:>14.2f}  {outcome.fingerprint()[:16]}"
+        )
 
 
 if __name__ == "__main__":

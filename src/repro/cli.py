@@ -15,6 +15,11 @@ Subcommands
     Decision traces (see ``docs/TRACING.md``): ``record`` a traced run
     to JSONL, ``summarize`` a trace by independent replay, ``filter``
     events by type/job, ``gantt`` an ASCII/CSV occupancy timeline.
+``workload``
+    Archive-log tooling over the streaming pipeline (see
+    ``docs/WORKLOADS.md``): ``validate`` an SWF log with a one-pass
+    anomaly report, ``stats`` for a constant-memory characterisation,
+    ``replay`` a long log through the sharded grid executor.
 ``lint``
     repro-lint, the determinism & protocol-conformance static analyser
     (see ``docs/STATIC_ANALYSIS.md``); all arguments after ``lint`` are
@@ -33,6 +38,9 @@ Examples
     repro-sched trace summarize run.jsonl
     repro-sched trace filter run.jsonl --type decision --job 42
     repro-sched trace gantt run.jsonl --max-jobs 30
+    repro-sched workload validate CTC-SP2.swf
+    repro-sched workload stats CTC-SP2.swf --load 1.3
+    repro-sched workload replay CTC-SP2.swf --scheduler ss --sf 2 --window 24
 """
 
 from __future__ import annotations
@@ -199,6 +207,16 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-sched",
         description="Selective preemption strategies for parallel job scheduling "
         "(reproduction of Kettimuthu et al., ICPP 2002)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "command families:\n"
+            "  run / compare / experiment   simulate and reproduce the paper\n"
+            "  inspect / workload           characterise synthetic or archive traces\n"
+            "  trace                        record and replay decision traces\n"
+            "  lint                         determinism static analysis\n"
+            "docs: README.md, docs/WORKLOADS.md, docs/TRACING.md, "
+            "docs/STATIC_ANALYSIS.md"
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -301,6 +319,104 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the occupancy-interval CSV instead of the chart",
     )
+
+    wl = sub.add_parser(
+        "workload",
+        help="archive-log tooling: validate / stats / replay over the streaming pipeline",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "All three subcommands stream the log (constant memory, any length).\n"
+            "examples:\n"
+            "  repro-sched workload validate CTC-SP2.swf\n"
+            "  repro-sched workload stats CTC-SP2.swf --load 1.3\n"
+            "  repro-sched workload replay CTC-SP2.swf --scheduler ss --sf 2 \\\n"
+            "      --window 24 --workers 0 --cache-dir results\n"
+            "guide: docs/WORKLOADS.md"
+        ),
+    )
+    wl_sub = wl.add_subparsers(dest="workload_cmd", required=True)
+
+    def _add_workload_pipeline_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--procs",
+            type=int,
+            default=None,
+            metavar="N",
+            help="machine size (default: the log header's MaxProcs/MaxNodes)",
+        )
+        p.add_argument(
+            "--load", type=float, default=1.0, help="load-scaling factor (section VI)"
+        )
+        p.add_argument(
+            "--estimates",
+            choices=("keep", "accurate", "inaccurate"),
+            default="keep",
+            help="replace the log's estimates with a model (default: keep the log's)",
+        )
+        p.add_argument("--seed", type=int, default=7, help="estimate-model seed")
+        p.add_argument(
+            "--skip-malformed",
+            action="store_true",
+            help="drop unparseable data lines instead of aborting",
+        )
+
+    val = wl_sub.add_parser(
+        "validate", help="one-pass anomaly report over an SWF log (exit 1 if anomalous)"
+    )
+    val.add_argument("swf_file", help="path to the SWF log")
+    val.add_argument(
+        "--procs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="machine size for the width check (default: from the header)",
+    )
+
+    wst = wl_sub.add_parser(
+        "stats", help="constant-memory workload characterisation of an SWF log"
+    )
+    wst.add_argument("swf_file", help="path to the SWF log")
+    _add_workload_pipeline_args(wst)
+
+    rpl = wl_sub.add_parser(
+        "replay",
+        help="replay a long SWF log through the sharded crash-safe grid executor",
+    )
+    rpl.add_argument("swf_file", help="path to the SWF log")
+    _add_workload_pipeline_args(rpl)
+    rpl.add_argument(
+        "--scheduler",
+        default="easy",
+        help="fcfs | easy/ns | conservative | relaxed | speculative | gang | ss | tss | is",
+    )
+    rpl.add_argument("--sf", type=float, default=2.0, help="suspension factor")
+    rpl.add_argument(
+        "--window",
+        type=float,
+        default=24.0,
+        metavar="HOURS",
+        help="shard window in hours; each window simulates independently (default: 24)",
+    )
+    rpl.add_argument(
+        "--batch-size",
+        type=int,
+        default=32,
+        metavar="N",
+        help="shards in flight per executor batch (bounds memory; default: 32)",
+    )
+    rpl.add_argument(
+        "--overhead",
+        action="store_true",
+        help="enable the disk-swap suspension overhead model (section V-A)",
+    )
+    rpl.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="record one JSONL decision trace per shard into DIR (see "
+        "docs/TRACING.md); traced shards bypass the result cache",
+    )
+    _add_parallel_args(rpl)
     return parser
 
 
@@ -345,6 +461,9 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "trace":
         return _dispatch_trace(args)
+
+    if args.command == "workload":
+        return _dispatch_workload(args)
 
     if args.command == "compare":
         jobs, n_procs = _load_jobs(args)
@@ -409,6 +528,126 @@ def _dispatch(args: argparse.Namespace) -> int:
         else:
             out = fn()
         print(out.report)
+        return 0
+
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _dispatch_workload(args: argparse.Namespace) -> int:
+    """The ``workload`` subcommand family (validate / stats / replay).
+
+    Everything here streams: the log is parsed one record at a time
+    (:mod:`repro.workload.swf`), transformed lazily
+    (:mod:`repro.workload.pipeline`) and, for ``replay``, simulated in
+    time-windowed shards through the crash-safe grid executor
+    (:func:`repro.experiments.parallel.replay_sharded`) -- a months-long
+    archive log never has to fit in memory.  See docs/WORKLOADS.md.
+    """
+    from repro.workload.pipeline import (
+        EstimateStage,
+        LoadScaleStage,
+        WorkloadPipeline,
+        open_workload,
+    )
+    from repro.workload.swf import format_scan_report, scan_swf
+
+    if args.workload_cmd == "validate":
+        header, report = scan_swf(args.swf_file, machine_procs=args.procs)
+        if header.computer:
+            print(f"log: {args.swf_file}   computer: {header.computer}")
+        print(format_scan_report(report))
+        return 0 if report.clean else 1
+
+    # stats / replay share the pipeline construction
+    def _pipeline() -> WorkloadPipeline:
+        stages: list[LoadScaleStage | EstimateStage] = []
+        if args.load != 1.0:
+            stages.append(LoadScaleStage(args.load))
+        if args.estimates != "keep":
+            model = (
+                InaccurateEstimates()
+                if args.estimates == "inaccurate"
+                else AccurateEstimates()
+            )
+            stages.append(EstimateStage(model, seed=args.seed))
+        return WorkloadPipeline(stages)
+
+    def _machine_procs() -> int:
+        if args.procs is not None:
+            return int(args.procs)
+        header, _ = scan_swf(args.swf_file)
+        procs = header.machine_procs()
+        if procs is None:
+            raise SystemExit(
+                f"{args.swf_file}: no MaxProcs/MaxNodes in the header; pass --procs"
+            )
+        return procs
+
+    on_malformed = "skip" if args.skip_malformed else "raise"
+    pipeline = _pipeline()
+
+    if args.workload_cmd == "stats":
+        from repro.workload.stats import format_streaming_stats, stream_workload_stats
+
+        n_procs = _machine_procs()
+        stream = open_workload(
+            args.swf_file, pipeline, max_procs=n_procs, on_malformed=on_malformed
+        )
+        summary = stream_workload_stats(stream)
+        if pipeline.stages:
+            print(f"pipeline: {pipeline.describe()}")
+        print(format_streaming_stats(summary, n_procs=n_procs))
+        return 0
+
+    if args.workload_cmd == "replay":
+        from repro.analysis.tables import category_grid_table
+        from repro.experiments.parallel import replay_sharded
+        from repro.metrics.aggregate import overall_stats, per_category_stats
+
+        n_procs = _machine_procs()
+        scheduler_config = _build_scheduler(args).config()
+        overhead = DiskSwapOverheadModel() if args.overhead else None
+        counters = GridCounters()
+        stream = open_workload(
+            args.swf_file, pipeline, max_procs=n_procs, on_malformed=on_malformed
+        )
+        outcome = replay_sharded(
+            stream,
+            n_procs,
+            scheduler_config,
+            window=args.window * 3600.0,
+            overhead_model=overhead,
+            batch_size=args.batch_size,
+            workers=args.workers,
+            cache=_cache_from_args(args),
+            policy=_policy_from_args(args),
+            counters=counters,
+            provenance={"pipeline": pipeline.fingerprint(), "source": "swf"},
+            trace_dir=args.trace_dir,
+        )
+        if counters:
+            print(format_grid_counters(counters), file=sys.stderr)
+        stats = overall_stats(outcome.jobs)
+        print(
+            f"shards: {outcome.shards} ({args.window:g} h windows)   "
+            f"simulated: {outcome.executed}   cache hits: {outcome.cache_hits}"
+        )
+        print(
+            f"jobs: {len(outcome.jobs)}   mean slowdown: {stats.slowdown.mean:.2f}   "
+            f"mean turnaround: {stats.turnaround.mean:,.0f} s"
+        )
+        print(f"outcome fingerprint: {outcome.fingerprint()}")
+        print()
+        print(
+            category_grid_table(
+                {
+                    cat: s.slowdown.mean
+                    for cat, s in per_category_stats(outcome.jobs).items()
+                },
+                title="mean slowdown per category (Table I grid)",
+                precision=2,
+            )
+        )
         return 0
 
     raise AssertionError("unreachable")  # pragma: no cover

@@ -6,7 +6,10 @@
 * :mod:`repro.experiments.parallel` -- :func:`run_grid` and
   :func:`compare_schemes_parallel`: the same cells fanned out over a
   process pool with deterministic merging, incremental cache commits
-  and crash/hang/broken-pool recovery governed by :class:`GridPolicy`.
+  and crash/hang/broken-pool recovery governed by :class:`GridPolicy`;
+  plus :func:`replay_sharded`, which cuts a long (possibly streaming)
+  workload into time-windowed shards and replays them through the same
+  executor (docs/WORKLOADS.md).
 * :mod:`repro.experiments.cache` -- :class:`ResultCache`, the
   content-addressed on-disk result store keyed by (workload, machine,
   scheduler config, overhead model, migratable flag) fingerprints.
@@ -25,8 +28,14 @@ from repro.experiments.parallel import (
     GridExecutionError,
     GridOutcome,
     GridPolicy,
+    ShardedReplayOutcome,
+    WorkloadShard,
     compare_schemes_parallel,
+    iter_time_shards,
+    outcome_fingerprint,
+    replay_sharded,
     run_grid,
+    shard_cell,
     simulate_cell,
     trace_files_for_keys,
 )
@@ -47,12 +56,18 @@ __all__ = [
     "GridPolicy",
     "ResultCache",
     "SchemeSpec",
+    "ShardedReplayOutcome",
     "SuspensionOverheadModel",
+    "WorkloadShard",
     "cell_fingerprint",
     "compare_schemes",
     "compare_schemes_parallel",
     "fingerprint_jobs",
+    "iter_time_shards",
+    "outcome_fingerprint",
+    "replay_sharded",
     "run_grid",
+    "shard_cell",
     "simulate",
     "simulate_cell",
     "standard_schemes",

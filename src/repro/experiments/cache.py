@@ -84,21 +84,29 @@ def cell_fingerprint(
     scheduler_config: Mapping[str, object],
     overhead_model: SuspensionOverheadModel | None = None,
     migratable: bool = False,
+    provenance: Mapping[str, object] | None = None,
 ) -> str:
-    """The content address of one (workload, machine, policy) cell."""
-    payload = json.dumps(
-        {
-            "schema": CACHE_SCHEMA_VERSION,
-            "jobs": jobs_fp,
-            "n_procs": int(n_procs),
-            "scheduler": dict(scheduler_config),
-            "overhead": overhead_config(overhead_model),
-            "migratable": bool(migratable),
-        },
-        sort_keys=True,
-        separators=(",", ":"),
-        default=str,
-    )
+    """The content address of one (workload, machine, policy) cell.
+
+    *provenance* is optional extra keying context -- the sharded-replay
+    path records ``{pipeline fingerprint, shard window}`` so a shard
+    simulated under one pipeline config can never be served for another
+    (the job hash alone already separates them; provenance makes the
+    separation structural and self-describing).  ``None`` keeps the
+    payload exactly as before, so every pre-existing cache entry remains
+    addressable.
+    """
+    body: dict[str, object] = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "jobs": jobs_fp,
+        "n_procs": int(n_procs),
+        "scheduler": dict(scheduler_config),
+        "overhead": overhead_config(overhead_model),
+        "migratable": bool(migratable),
+    }
+    if provenance is not None:
+        body["provenance"] = dict(provenance)
+    payload = json.dumps(body, sort_keys=True, separators=(",", ":"), default=str)
     return hashlib.sha256(payload.encode()).hexdigest()
 
 

@@ -47,7 +47,7 @@ from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wai
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.experiments.cache import ResultCache, cell_fingerprint, fingerprint_jobs
 from repro.experiments.runner import SchemeSpec, simulate
@@ -84,6 +84,10 @@ class GridCell:
     #: record of an *actual* run, and cache-served results would leave
     #: the file unwritten.
     trace_path: str | None = None
+    #: optional extra cache-keying context (JSON-stable).  The sharded
+    #: replay path stores the workload-pipeline fingerprint and shard
+    #: window here; ``None`` leaves fingerprints exactly as before.
+    provenance: Mapping[str, object] | None = None
 
     def fingerprint(self, jobs_fp: str | None = None) -> str:
         """Content address for the cache; *jobs_fp* skips re-hashing."""
@@ -93,6 +97,7 @@ class GridCell:
             self.scheduler_config,
             self.overhead_model,
             self.migratable,
+            provenance=self.provenance,
         )
 
 
@@ -724,3 +729,251 @@ def compare_schemes_parallel(
     return run_grid(
         cells, workers=workers, cache=cache, policy=policy, counters=counters
     ).results
+
+
+# ----------------------------------------------------------------------
+# workload sharding: one long log -> time-windowed grid cells
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkloadShard:
+    """One time window of a long workload, ready to become a grid cell.
+
+    ``start``/``end`` bound the submit-time window ``[start, end)``
+    (``end`` is ``inf`` for an explicit tail shard); ``index`` is the
+    shard's position in the stream (0-based, counting only non-empty
+    windows).  Jobs keep their absolute submit times -- each shard is
+    simulated independently on an empty machine, so the driver simply
+    idles until the window's first arrival.
+    """
+
+    index: int
+    start: float
+    end: float
+    jobs: tuple[Job, ...]
+
+    @property
+    def key(self) -> str:
+        """Stable cell key: shard index + window bounds."""
+        return f"shard{self.index:05d}@[{self.start:g},{self.end:g})"
+
+
+def iter_time_shards(
+    jobs: Iterable[Job], window: float, min_jobs: int = 1
+) -> Iterator[WorkloadShard]:
+    """Split a submit-sorted job stream into ``window``-second shards.
+
+    Streaming: holds one shard's jobs at a time, so a months-long log
+    costs one window of memory.  Window boundaries are absolute
+    multiples of *window* from t=0 (where the SWF loaders rebase the
+    trace), so the split depends only on (jobs, window) -- never on
+    batching or worker count.  Empty windows produce no shard.
+
+    Raises :class:`ValueError` on an out-of-order submit: sharding an
+    unsorted stream would silently scatter jobs across wrong windows.
+    ``min_jobs`` merges trailing dribbles: a window with fewer jobs is
+    folded into the *next* shard (its ``start`` stretches back), so no
+    simulation cell is ever near-empty.
+    """
+    if window <= 0:
+        raise ValueError(f"shard window must be positive, got {window}")
+    if min_jobs < 1:
+        raise ValueError(f"min_jobs must be >= 1, got {min_jobs}")
+    index = 0
+    bucket: list[Job] = []
+    bucket_start: float | None = None
+    window_end: float | None = None
+    prev_submit: float | None = None
+    for job in jobs:
+        if prev_submit is not None and job.submit_time < prev_submit:
+            raise ValueError(
+                f"job {job.job_id}: submit time {job.submit_time} is before the "
+                f"previous job's {prev_submit}; sharding needs a submit-sorted "
+                "stream (see docs/WORKLOADS.md)"
+            )
+        prev_submit = job.submit_time
+        if window_end is None:
+            k = int(job.submit_time // window)
+            bucket_start = k * window
+            window_end = (k + 1) * window
+        while job.submit_time >= window_end:
+            if len(bucket) >= min_jobs:
+                assert bucket_start is not None
+                yield WorkloadShard(index, bucket_start, window_end, tuple(bucket))
+                index += 1
+                bucket = []
+                bucket_start = window_end
+            elif not bucket:
+                # empty window: no shard, and the next shard must not
+                # stretch back over it -- its window starts here
+                bucket_start = window_end
+            # else: keep the dribble, stretch this shard into the next window
+            window_end += window
+        bucket.append(job)
+    if bucket:
+        assert bucket_start is not None and window_end is not None
+        yield WorkloadShard(index, bucket_start, window_end, tuple(bucket))
+
+
+def shard_cell(
+    shard: WorkloadShard,
+    n_procs: int,
+    scheduler_config: Mapping[str, object],
+    overhead_model: SuspensionOverheadModel | None = None,
+    migratable: bool = False,
+    provenance: Mapping[str, object] | None = None,
+    trace_dir: str | Path | None = None,
+) -> GridCell:
+    """Wrap one shard as a :class:`GridCell` with self-describing provenance.
+
+    The cell's cache key covers the shard's jobs (hash), the machine and
+    policy, *and* a provenance record naming the shard window plus any
+    caller context (typically the workload-pipeline fingerprint) -- so a
+    cached shard is only ever served back to an identical replay.
+    """
+    prov: dict[str, object] = {
+        "shard": {"index": shard.index, "start": shard.start, "end": shard.end},
+    }
+    if provenance:
+        prov.update(provenance)
+    return GridCell(
+        key=shard.key,
+        jobs=list(shard.jobs),
+        n_procs=n_procs,
+        scheduler_config=scheduler_config,
+        overhead_model=overhead_model,
+        migratable=migratable,
+        trace_path=(
+            trace_file_for_key(trace_dir, shard.key) if trace_dir is not None else None
+        ),
+        provenance=prov,
+    )
+
+
+def outcome_fingerprint(jobs: Sequence[Job]) -> str:
+    """SHA-256 over per-job outcome tuples -- the replay-equivalence witness.
+
+    Hashes ``(job_id, first_start_time, finish_time, suspension_count,
+    kill_count)`` in job order; two replays are byte-identical iff their
+    fingerprints match.  Used by the sharded-vs-eager equivalence test
+    and by ``repro-sched workload replay`` output.
+    """
+    h = hashlib.sha256()
+    h.update(b"outcome-v1")
+    for j in jobs:
+        h.update(
+            (
+                f"{j.job_id}|{j.first_start_time!r}|{j.finish_time!r}"
+                f"|{j.suspension_count}|{j.kill_count}\n"
+            ).encode()
+        )
+    return h.hexdigest()
+
+
+@dataclass
+class ShardedReplayOutcome:
+    """What :func:`replay_sharded` hands back.
+
+    ``jobs`` holds every simulated job in shard order (equal to submit
+    order), ready for :func:`repro.metrics.aggregate.per_category_stats`;
+    ``shards`` counts non-empty shards; ``executed``/``cache_hits``
+    aggregate the underlying grid batches.  :meth:`fingerprint` is the
+    byte-identity witness used by the equivalence tests.
+    """
+
+    jobs: list[Job] = field(default_factory=list)
+    shards: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    trace_paths: dict[str, str] = field(default_factory=dict)
+    failures: dict[str, CellFailure] = field(default_factory=dict)
+    counters: GridCounters = field(default_factory=GridCounters)
+
+    def fingerprint(self) -> str:
+        """Outcome hash over all jobs in shard order (see :func:`outcome_fingerprint`)."""
+        return outcome_fingerprint(self.jobs)
+
+
+def replay_sharded(
+    jobs: Iterable[Job],
+    n_procs: int,
+    scheduler_config: Mapping[str, object],
+    *,
+    window: float,
+    overhead_model: SuspensionOverheadModel | None = None,
+    migratable: bool = False,
+    min_jobs: int = 1,
+    batch_size: int = 32,
+    workers: int | None = None,
+    cache: ResultCache | None = None,
+    policy: GridPolicy | None = None,
+    counters: GridCounters | None = None,
+    provenance: Mapping[str, object] | None = None,
+    trace_dir: str | Path | None = None,
+) -> ShardedReplayOutcome:
+    """Replay one long (possibly streaming) workload through the grid executor.
+
+    The input stream is cut into ``window``-second shards
+    (:func:`iter_time_shards`), each shard becomes a provenance-tagged
+    :class:`GridCell`, and batches of ``batch_size`` cells flow through
+    :func:`run_grid` -- inheriting the whole crash-safety story: every
+    finished shard commits to *cache* the moment it exists, retries and
+    timeouts follow *policy*, and an interrupted replay resumes from its
+    last finished shard.
+
+    Memory is bounded by one batch of shards (plus their results), never
+    by the log: pair this with
+    :func:`repro.workload.pipeline.open_workload` to replay an archive
+    log end to end without materialising it.
+
+    Determinism: shard boundaries depend only on (jobs, window,
+    min_jobs); each shard simulates independently on an empty machine;
+    results merge in shard order.  The outcome is therefore identical
+    for any ``batch_size``/``workers``/``cache`` combination -- the
+    equivalence test in ``tests/test_workload_shards.py`` asserts
+    byte-identical per-category metrics and outcome fingerprints against
+    an eager in-memory replay of the same shards.
+
+    *provenance* (typically ``{"pipeline": pipe.fingerprint(), "source":
+    log_name}``) is folded into every shard cell's cache key.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    outcome = ShardedReplayOutcome(
+        counters=counters if counters is not None else GridCounters()
+    )
+
+    def _flush(batch: list[GridCell]) -> None:
+        grid = run_grid(
+            batch,
+            workers=workers,
+            cache=cache,
+            policy=policy,
+            counters=outcome.counters,
+        )
+        for result in grid.results.values():  # input order == shard order
+            outcome.jobs.extend(result.jobs)
+        outcome.executed += grid.executed
+        outcome.cache_hits += grid.cache_hits
+        outcome.trace_paths.update(grid.trace_paths)
+        outcome.failures.update(grid.failures)
+
+    batch: list[GridCell] = []
+    for shard in iter_time_shards(jobs, window, min_jobs=min_jobs):
+        outcome.shards += 1
+        batch.append(
+            shard_cell(
+                shard,
+                n_procs,
+                scheduler_config,
+                overhead_model=overhead_model,
+                migratable=migratable,
+                provenance=provenance,
+                trace_dir=trace_dir,
+            )
+        )
+        if len(batch) >= batch_size:
+            _flush(batch)
+            batch = []
+    if batch:
+        _flush(batch)
+    return outcome

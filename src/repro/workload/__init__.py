@@ -4,7 +4,11 @@
   lifecycle object (submit -> queued -> running <-> suspended -> finished)
   with the wait/run clock separation the xfactor priority depends on.
 * :mod:`repro.workload.swf` -- Standard Workload Format parser/writer so
-  real Parallel Workloads Archive logs (CTC, SDSC, KTH, ...) drop in.
+  real Parallel Workloads Archive logs (CTC, SDSC, KTH, ...) drop in;
+  eager helpers plus a constant-memory streaming reader and validator.
+* :mod:`repro.workload.pipeline` -- lazy transformation stages over job
+  streams (load scaling, estimate models, category filtering) with a
+  cache-keying config fingerprint (see docs/WORKLOADS.md).
 * :mod:`repro.workload.categories` -- the paper's 16-way (Table I) and
   4-way (Table VI) job classification grids.
 * :mod:`repro.workload.synthetic` -- calibrated synthetic trace
@@ -38,12 +42,32 @@ from repro.workload.estimates import (
     PerfectWithNoise,
 )
 from repro.workload.load import scale_load
-from repro.workload.swf import read_swf, write_swf, jobs_from_swf_records, SWFRecord
+from repro.workload.pipeline import (
+    CategoryFilterStage,
+    EstimateStage,
+    LoadScaleStage,
+    PipelineStage,
+    WorkloadPipeline,
+    open_workload,
+)
+from repro.workload.swf import (
+    SWFHeader,
+    SWFReader,
+    SWFRecord,
+    jobs_from_swf_records,
+    read_swf,
+    scan_swf,
+    stream_jobs,
+    stream_swf,
+    write_swf,
+)
 
 __all__ = [
     "AccurateEstimates",
     "CTC",
+    "CategoryFilterStage",
     "EstimateModel",
+    "EstimateStage",
     "FOUR_WAY_CATEGORIES",
     "FourWayCategory",
     "InaccurateEstimates",
@@ -51,22 +75,31 @@ __all__ = [
     "JobState",
     "KTH",
     "LengthClass",
+    "LoadScaleStage",
     "PerfectWithNoise",
     "PRESETS",
+    "PipelineStage",
     "SDSC",
     "SIXTEEN_WAY_CATEGORIES",
+    "SWFHeader",
+    "SWFReader",
     "SWFRecord",
     "SixteenWayCategory",
     "SyntheticTraceGenerator",
     "TracePreset",
     "WidthClass",
+    "WorkloadPipeline",
     "classify_four_way",
     "classify_sixteen_way",
     "generate_trace",
     "jobs_from_swf_records",
     "length_class",
+    "open_workload",
     "read_swf",
     "scale_load",
+    "scan_swf",
+    "stream_jobs",
+    "stream_swf",
     "width_class",
     "write_swf",
 ]

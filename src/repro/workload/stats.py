@@ -10,7 +10,7 @@ honest against the paper's published distributions.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.workload.categories import classify_sixteen_way
@@ -134,6 +134,129 @@ def format_stats(stats: WorkloadStats, n_procs: int | None = None) -> str:
         "",
         category_grid_table(
             {c: 100.0 * n / stats.n_jobs for c, n in stats.category_counts.items()},
+            title="% of jobs per category (Table I grid)",
+            precision=1,
+        ),
+    ]
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# one-pass streaming summary (archive-scale logs)
+# ----------------------------------------------------------------------
+@dataclass
+class StreamingWorkloadSummary:
+    """O(1)-memory workload summary built in one pass over a job stream.
+
+    The streaming counterpart of :class:`WorkloadStats` for logs too
+    long to materialise: exact count/mean/min/max, category population,
+    offered demand and arrival burstiness (Welford's online variance
+    over interarrival gaps), but no order statistics -- medians and
+    percentiles need the whole sample, so ``repro-sched workload stats``
+    prints means where ``inspect`` prints five-number summaries.
+    """
+
+    n_jobs: int = 0
+    first_submit: float = 0.0
+    last_submit: float = 0.0
+    run_sum: float = 0.0
+    run_min: float = float("inf")
+    run_max: float = 0.0
+    width_sum: float = 0.0
+    width_max: float = 0.0
+    factor_sum: float = 0.0
+    badly_estimated: int = 0
+    area: float = 0.0
+    category_counts: dict[tuple[str, str], int] = field(default_factory=dict)
+    # Welford state over interarrival gaps
+    _gap_count: int = 0
+    _gap_mean: float = 0.0
+    _gap_m2: float = 0.0
+
+    def observe(self, job: Job) -> None:
+        """Fold one job in (jobs must arrive in submit order)."""
+        if self.n_jobs == 0:
+            self.first_submit = job.submit_time
+        else:
+            gap = job.submit_time - self.last_submit
+            self._gap_count += 1
+            delta = gap - self._gap_mean
+            self._gap_mean += delta / self._gap_count
+            self._gap_m2 += delta * (gap - self._gap_mean)
+        self.last_submit = job.submit_time
+        self.n_jobs += 1
+        self.run_sum += job.run_time
+        self.run_min = min(self.run_min, job.run_time)
+        self.run_max = max(self.run_max, job.run_time)
+        self.width_sum += job.procs
+        self.width_max = max(self.width_max, float(job.procs))
+        self.factor_sum += job.estimate / job.run_time
+        if job.estimate > 2.0 * job.run_time:
+            self.badly_estimated += 1
+        self.area += job.run_time * job.procs
+        cat = classify_sixteen_way(job)
+        self.category_counts[cat] = self.category_counts.get(cat, 0) + 1
+
+    @property
+    def span_seconds(self) -> float:
+        """Submit-time span (>= 1 s, matching :func:`workload_stats`)."""
+        return max(self.last_submit - self.first_submit, 1.0)
+
+    @property
+    def arrival_cv(self) -> float:
+        """Coefficient of variation of interarrival gaps (1.0 = Poisson)."""
+        if self._gap_count < 2 or self._gap_mean <= 0:
+            return 0.0
+        var = self._gap_m2 / (self._gap_count - 1)
+        return math.sqrt(var) / self._gap_mean
+
+    @property
+    def offered_processors(self) -> float:
+        """Total work / span: processors' worth of offered demand."""
+        return self.area / self.span_seconds
+
+    def offered_load(self, n_procs: int) -> float:
+        """Offered demand as a fraction of an ``n_procs`` machine."""
+        if n_procs <= 0:
+            raise ValueError("n_procs must be positive")
+        return self.offered_processors / n_procs
+
+
+def stream_workload_stats(jobs: Iterable[Job]) -> StreamingWorkloadSummary:
+    """One-pass :class:`StreamingWorkloadSummary` over a (lazy) job stream."""
+    summary = StreamingWorkloadSummary()
+    for job in jobs:
+        summary.observe(job)
+    if summary.n_jobs == 0:
+        raise ValueError("empty workload")
+    return summary
+
+
+def format_streaming_stats(
+    summary: StreamingWorkloadSummary, n_procs: int | None = None
+) -> str:
+    """Human-readable report of a :class:`StreamingWorkloadSummary`."""
+    from repro.analysis.tables import category_grid_table
+
+    n = summary.n_jobs
+    lines = [
+        f"jobs: {n}   span: {summary.span_seconds / 3600:.1f} h   "
+        f"arrival CV: {summary.arrival_cv:.2f}",
+        f"run time (s): mean {summary.run_sum / n:,.0f}  "
+        f"min {summary.run_min:,.0f}  max {summary.run_max:,.0f}",
+        f"width (procs): mean {summary.width_sum / n:.1f}  "
+        f"max {summary.width_max:.0f}",
+        f"estimate/actual: mean {summary.factor_sum / n:.2f}  "
+        f"badly estimated: {100 * summary.badly_estimated / n:.1f}%",
+        f"offered demand: {summary.offered_processors:.1f} processors"
+        + (
+            f" = {100 * summary.offered_load(n_procs):.1f}% of {n_procs}"
+            if n_procs
+            else ""
+        ),
+        "",
+        category_grid_table(
+            {c: 100.0 * cnt / n for c, cnt in summary.category_counts.items()},
             title="% of jobs per category (Table I grid)",
             precision=1,
         ),

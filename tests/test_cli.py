@@ -205,3 +205,91 @@ def test_compare_with_trace_dir(tmp_path, capsys):
 
     for path in trace_dir.glob("*.jsonl"):
         assert summarize_trace(read_trace(path)).matches_run_end is True
+
+
+# ----------------------------------------------------------------------
+# the workload family (streaming SWF pipeline)
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def swf_log(tmp_path):
+    from repro.workload.swf import write_synthetic_swf
+
+    path = tmp_path / "demo.swf"
+    write_synthetic_swf(path, n_jobs=200, n_procs=128)
+    return str(path)
+
+
+def test_workload_validate_clean(swf_log, capsys):
+    rc = main(["workload", "validate", swf_log])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "records" in out
+    assert "clean" in out
+
+
+def test_workload_validate_flags_dirty_log(tmp_path, capsys):
+    path = tmp_path / "dirty.swf"
+    path.write_text(
+        "; MaxProcs: 128\n"
+        "1 0 -1 3600 16 -1 -1 16 7200 -1 1 5 2 -1 1 -1 -1 -1\n"
+        "not an swf line\n"
+    )
+    rc = main(["workload", "validate", str(path)])
+    assert rc == 1
+    assert "malformed" in capsys.readouterr().out
+
+
+def test_workload_stats(swf_log, capsys):
+    rc = main(["workload", "stats", swf_log])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "jobs" in out
+    assert "offered demand" in out
+
+
+def test_workload_stats_with_pipeline(swf_log, capsys):
+    rc = main(["workload", "stats", swf_log, "--load", "1.3",
+               "--estimates", "inaccurate", "--seed", "9"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "pipeline: load_scale -> estimates" in out
+
+
+def test_workload_stats_needs_procs_without_header(tmp_path):
+    path = tmp_path / "bare.swf"
+    path.write_text("1 0 -1 3600 16 -1 -1 16 7200 -1 1 5 2 -1 1 -1 -1 -1\n")
+    with pytest.raises(SystemExit, match="--procs"):
+        main(["workload", "stats", str(path)])
+
+
+def test_workload_replay(swf_log, capsys):
+    rc = main(["workload", "replay", swf_log, "--scheduler", "easy",
+               "--window", "6"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "shards:" in out
+    assert "outcome fingerprint:" in out
+    assert "mean slowdown per category" in out
+
+
+def test_workload_replay_fingerprint_reproducible(swf_log, capsys):
+    main(["workload", "replay", swf_log, "--window", "6"])
+    first = capsys.readouterr().out
+    main(["workload", "replay", swf_log, "--window", "6", "--batch-size", "3"])
+    second = capsys.readouterr().out
+
+    def fp(out):
+        return next(
+            line for line in out.splitlines() if line.startswith("outcome fingerprint:")
+        )
+
+    assert fp(first) == fp(second)
+
+
+def test_workload_replay_with_trace_dir(swf_log, tmp_path, capsys):
+    trace_dir = tmp_path / "traces"
+    rc = main(["workload", "replay", swf_log, "--window", "6",
+               "--trace-dir", str(trace_dir)])
+    assert rc == 0
+    traces = list(trace_dir.glob("shard*.jsonl"))
+    assert traces  # one JSONL per shard

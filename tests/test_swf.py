@@ -5,15 +5,24 @@ from __future__ import annotations
 import io
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.workload.swf import (
+    SWFReader,
     SWFRecord,
+    format_scan_report,
     iter_swf,
     jobs_from_swf_records,
     jobs_to_swf_records,
+    parse_header_directive,
     read_swf,
     read_swf_header,
+    scan_swf,
+    stream_jobs,
+    stream_swf,
     write_swf,
+    write_synthetic_swf,
 )
 
 GOOD_LINE = "1 0 10 3600 16 -1 -1 16 7200 -1 1 5 2 -1 1 -1 -1 -1"
@@ -166,3 +175,243 @@ def test_jobs_to_swf_round_trip():
     assert back[0].run_time == jobs[0].run_time
     assert back[0].procs == jobs[0].procs
     assert back[0].estimate == jobs[0].estimate
+
+
+# ----------------------------------------------------------------------
+# streaming reader
+# ----------------------------------------------------------------------
+def _swf_file(tmp_path, lines, header=None):
+    path = tmp_path / "log.swf"
+    text = ""
+    for key, value in (header or {}).items():
+        text += f"; {key}: {value}\n"
+    text += "".join(line + "\n" for line in lines)
+    path.write_text(text)
+    return path
+
+
+def test_reader_header_and_records(tmp_path):
+    path = _swf_file(
+        tmp_path,
+        [GOOD_LINE],
+        header={"Computer": "IBM SP2", "MaxProcs": "128", "UnixStartTime": "840000000"},
+    )
+    with SWFReader(path) as reader:
+        assert reader.header.computer == "IBM SP2"
+        assert reader.header.max_procs == 128
+        assert reader.header.unix_start_time == 840000000
+        assert reader.header.machine_procs() == 128
+        records = list(reader)
+    assert len(records) == 1
+    assert records[0] == SWFRecord.from_line(GOOD_LINE)
+
+
+def test_reader_machine_procs_falls_back_to_max_nodes(tmp_path):
+    path = _swf_file(tmp_path, [GOOD_LINE], header={"MaxNodes": "64"})
+    with SWFReader(path) as reader:
+        assert reader.header.max_procs is None
+        assert reader.header.machine_procs() == 64
+
+
+def test_reader_header_tolerates_garbage_values(tmp_path):
+    path = _swf_file(tmp_path, [GOOD_LINE], header={"MaxProcs": "lots"})
+    with SWFReader(path) as reader:
+        assert reader.header.max_procs is None
+        assert reader.header.directives["MaxProcs"] == "lots"
+
+
+def test_reader_is_single_pass(tmp_path):
+    path = _swf_file(tmp_path, [GOOD_LINE])
+    with SWFReader(path) as reader:
+        assert len(list(reader)) == 1
+        with pytest.raises(RuntimeError, match="single-pass"):
+            list(reader)
+
+
+def test_reader_malformed_raise_names_line(tmp_path):
+    path = _swf_file(tmp_path, [GOOD_LINE, "this is not swf"])
+    with SWFReader(path) as reader:
+        with pytest.raises(ValueError, match="line 2"):
+            list(reader)
+
+
+def test_reader_malformed_skip_counts(tmp_path):
+    path = _swf_file(tmp_path, [GOOD_LINE, "broken", GOOD_LINE])
+    with SWFReader(path, on_malformed="skip") as reader:
+        records = list(reader)
+    assert len(records) == 2
+    assert reader.malformed_lines == 1
+    assert reader.records_read == 2
+
+
+def test_reader_rejects_bad_policy(tmp_path):
+    with pytest.raises(ValueError, match="on_malformed"):
+        SWFReader("whatever.swf", on_malformed="explode")
+
+
+def test_reader_iter_chunks(tmp_path):
+    path = _swf_file(tmp_path, [GOOD_LINE] * 5)
+    with SWFReader(path) as reader:
+        chunks = list(reader.iter_chunks(2))
+    assert [len(c) for c in chunks] == [2, 2, 1]
+
+
+def test_stream_swf_matches_read_swf(tmp_path):
+    path = _swf_file(tmp_path, [GOOD_LINE] * 3, header={"MaxProcs": "128"})
+    assert list(stream_swf(path)) == read_swf(path)
+
+
+def test_parse_header_directive():
+    assert parse_header_directive("; MaxProcs: 128") == ("MaxProcs", "128")
+    assert parse_header_directive(";Computer: SP2 ") == ("Computer", "SP2")
+    assert parse_header_directive("; just a comment") is None
+    assert parse_header_directive("1 2 3") is None
+
+
+# ----------------------------------------------------------------------
+# validation scan
+# ----------------------------------------------------------------------
+def test_scan_clean_log(tmp_path):
+    path = _swf_file(tmp_path, [GOOD_LINE], header={"MaxProcs": "128"})
+    header, report = scan_swf(path)
+    assert header.max_procs == 128
+    assert report.records == 1
+    assert report.clean
+
+
+def test_scan_counts_anomalies_with_examples(tmp_path):
+    wide = _rec(job=7, req_procs=999).to_line()
+    backwards = _rec(job=8, submit=-50.0).to_line()
+    path = _swf_file(
+        tmp_path,
+        [GOOD_LINE, wide, backwards, "garbage"],
+        header={"MaxProcs": "128"},
+    )
+    _, report = scan_swf(path)
+    assert not report.clean
+    assert report.too_wide == 1
+    assert report.out_of_order_submits == 1
+    assert report.malformed_lines == 1
+    assert report.examples["too_wide"] == [7]
+    assert report.examples["out_of_order_submits"] == [8]
+    assert "out-of-order" in format_scan_report(report)
+
+
+def test_scan_without_machine_size_skips_width_check(tmp_path):
+    path = _swf_file(tmp_path, [_rec(req_procs=999).to_line()])
+    _, report = scan_swf(path)
+    assert report.too_wide == 0
+    assert report.machine_procs is None
+
+
+# ----------------------------------------------------------------------
+# streaming job conversion
+# ----------------------------------------------------------------------
+def test_stream_jobs_matches_eager():
+    records = [
+        _rec(job=1, submit=0.0),
+        _rec(job=2, submit=10.0, run=-1.0),       # dropped: bad run time
+        _rec(job=3, submit=20.0, req_procs=400),  # dropped: too wide
+        _rec(job=4, submit=30.0, req_time=-1.0),  # estimate falls back
+    ]
+    eager = jobs_from_swf_records(records, max_procs=128)
+    streamed = list(stream_jobs(iter(records), max_procs=128))
+    assert [(j.job_id, j.submit_time, j.run_time, j.estimate, j.procs) for j in eager] \
+        == [(j.job_id, j.submit_time, j.run_time, j.estimate, j.procs) for j in streamed]
+
+
+def test_stream_jobs_requires_sorted():
+    records = [_rec(job=1, submit=100.0), _rec(job=2, submit=50.0)]
+    with pytest.raises(ValueError, match="submit-sorted"):
+        list(stream_jobs(iter(records)))
+    unsorted = list(
+        stream_jobs(iter(records), require_sorted=False, rebase_time=False)
+    )
+    assert [j.job_id for j in unsorted] == [1, 2]
+
+
+def test_stream_jobs_drop_interactive():
+    records = [_rec(job=1), _rec(job=2)]
+    interactive = SWFRecord(**{**records[1].__dict__, "queue": 0})
+    kept = list(stream_jobs(iter([records[0], interactive]), drop_interactive=True))
+    assert [j.job_id for j in kept] == [1]
+
+
+def test_stream_jobs_status_filter():
+    completed = _rec(job=1)
+    cancelled = SWFRecord(**{**_rec(job=2, submit=1.0).__dict__, "status": 5})
+    unrecorded = SWFRecord(**{**_rec(job=3, submit=2.0).__dict__, "status": -1})
+    kept = list(
+        stream_jobs(
+            iter([completed, cancelled, unrecorded]),
+            keep_statuses=frozenset({1}),
+        )
+    )
+    assert [j.job_id for j in kept] == [1, 3]  # -1 (unrecorded) always kept
+
+
+def test_write_synthetic_swf_streams_cleanly(tmp_path):
+    path = tmp_path / "synth.swf"
+    write_synthetic_swf(path, n_jobs=200, n_procs=128)
+    header, report = scan_swf(path)
+    assert header.max_procs == 128
+    assert report.records == 200
+    assert report.clean
+    jobs = list(stream_jobs(stream_swf(path), max_procs=128))
+    assert len(jobs) == 200
+
+
+# ----------------------------------------------------------------------
+# property: write -> stream-read round trip
+# ----------------------------------------------------------------------
+@st.composite
+def swf_records(draw):
+    n = draw(st.integers(min_value=1, max_value=30))
+    submits = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=10**6), min_size=n, max_size=n
+            )
+        )
+    )
+    records = []
+    for i, submit in enumerate(submits, start=1):
+        records.append(
+            SWFRecord(
+                job_number=i,
+                submit_time=float(submit),
+                wait_time=float(draw(st.integers(min_value=-1, max_value=10**5))),
+                run_time=float(draw(st.integers(min_value=-1, max_value=10**5))),
+                allocated_procs=draw(st.integers(min_value=-1, max_value=512)),
+                avg_cpu_time=-1.0,
+                used_memory_kb=-1.0,
+                requested_procs=draw(st.integers(min_value=-1, max_value=512)),
+                requested_time=float(draw(st.integers(min_value=-1, max_value=10**5))),
+                requested_memory_kb=-1.0,
+                status=draw(st.sampled_from([-1, 0, 1, 5])),
+                user_id=draw(st.integers(min_value=-1, max_value=100)),
+                group_id=-1,
+                executable=-1,
+                queue=draw(st.sampled_from([-1, 0, 1, 7])),
+                partition=-1,
+                preceding_job=-1,
+                think_time=-1.0,
+            )
+        )
+    return records
+
+
+@given(records=swf_records())
+@settings(max_examples=40, deadline=None)
+def test_write_then_stream_read_round_trip(records, tmp_path_factory):
+    path = tmp_path_factory.mktemp("swf-rt") / "rt.swf"
+    write_swf(path, records, header={"MaxProcs": "512"})
+    back = list(stream_swf(path))
+    assert back == records
+    # and the streaming job conversion agrees with the eager one
+    eager = jobs_from_swf_records(records, max_procs=512)
+    streamed = list(stream_jobs(iter(records), max_procs=512))
+    assert [(j.job_id, j.submit_time, j.run_time, j.estimate, j.procs, j.user)
+            for j in eager] == \
+           [(j.job_id, j.submit_time, j.run_time, j.estimate, j.procs, j.user)
+            for j in streamed]

@@ -85,7 +85,112 @@ JOBS_PER_ROUND = {
     "test_simulation_rate_easy": 400,
     "test_simulation_rate_ss": 400,
     "test_simulation_rate_ss_congested": 700,
+    "test_swf_stream_parse": 20_000,
+    "test_swf_stream_to_jobs": 20_000,
 }
+
+#: jobs in the generated log the peak-RSS ingestion gate streams
+#: (the ISSUE's acceptance floor is >= 100k)
+INGESTION_LOG_JOBS = 120_000
+
+#: the streaming reader's peak RSS may be at most this fraction of the
+#: eager reader's on the same log.  The eager path materialises every
+#: SWFRecord and Job; the streaming path holds one of each, so its RSS
+#: is the interpreter baseline -- in practice the ratio sits near 0.25.
+#: Comparing two child processes on the same machine in the same run
+#: makes the bound machine-independent, unlike an absolute RSS cap.
+INGESTION_RSS_RATIO_MAX = 0.6
+
+#: child measured for streaming ingestion: parse + convert the whole
+#: log with the iterator API, count jobs, report peak RSS (ru_maxrss is
+#: KB on Linux) and wall time
+_INGEST_STREAM_CHILD = """
+import json, resource, sys, time
+from repro.workload.swf import stream_jobs, stream_swf
+t0 = time.perf_counter()
+n = sum(1 for _ in stream_jobs(stream_swf(sys.argv[1]), max_procs=128))
+dt = time.perf_counter() - t0
+rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+print(json.dumps({"jobs": n, "maxrss_kb": rss, "seconds": dt}))
+"""
+
+#: child measured for eager ingestion: same log, whole-list API
+_INGEST_EAGER_CHILD = """
+import json, resource, sys, time
+from repro.workload.swf import jobs_from_swf_records, read_swf
+t0 = time.perf_counter()
+records = read_swf(sys.argv[1])
+jobs = jobs_from_swf_records(records, max_procs=128)
+dt = time.perf_counter() - t0
+rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+print(json.dumps({"jobs": len(jobs), "maxrss_kb": rss, "seconds": dt}))
+"""
+
+
+def _run_ingest_child(code: str, log_path: Path) -> dict[str, Any]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-c", code, str(log_path)],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    if proc.returncode != 0:
+        raise SystemExit(f"ingestion child failed:\n{proc.stderr[-2000:]}")
+    result: dict[str, Any] = json.loads(proc.stdout.strip().splitlines()[-1])
+    return result
+
+
+def ingestion_report() -> dict[str, Any]:
+    """Measure streaming-vs-eager peak RSS on a generated >=100k-job log.
+
+    Each reader runs in its own child process so ``ru_maxrss`` isolates
+    exactly one strategy; the gate asserts the streaming reader's peak
+    stays under :data:`INGESTION_RSS_RATIO_MAX` of the eager reader's --
+    the O(chunk)-vs-O(log) memory claim of docs/WORKLOADS.md, enforced.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.workload.swf import write_synthetic_swf
+
+    with tempfile.TemporaryDirectory() as tmp:
+        log = Path(tmp) / "ingest.swf"
+        write_synthetic_swf(log, INGESTION_LOG_JOBS)
+        streaming = _run_ingest_child(_INGEST_STREAM_CHILD, log)
+        eager = _run_ingest_child(_INGEST_EAGER_CHILD, log)
+    ratio = streaming["maxrss_kb"] / max(eager["maxrss_kb"], 1)
+    return {
+        "log_jobs": INGESTION_LOG_JOBS,
+        "streaming": streaming,
+        "eager": eager,
+        "rss_ratio": ratio,
+        "rss_ratio_max": INGESTION_RSS_RATIO_MAX,
+    }
+
+
+def check_ingestion(ingestion: dict[str, Any]) -> list[str]:
+    """Gate violations of one :func:`ingestion_report` result (empty = pass)."""
+    problems: list[str] = []
+    streamed = ingestion["streaming"]["jobs"]
+    if streamed != INGESTION_LOG_JOBS:
+        problems.append(
+            f"streaming reader returned {streamed} jobs, "
+            f"expected {INGESTION_LOG_JOBS}"
+        )
+    if streamed != ingestion["eager"]["jobs"]:
+        problems.append(
+            f"streaming ({streamed}) and eager ({ingestion['eager']['jobs']}) "
+            "readers disagree on job count"
+        )
+    if ingestion["rss_ratio"] > INGESTION_RSS_RATIO_MAX:
+        problems.append(
+            f"streaming peak RSS is {ingestion['rss_ratio']:.2f}x the eager "
+            f"reader's (limit {INGESTION_RSS_RATIO_MAX}); the parser is no "
+            "longer O(chunk) memory"
+        )
+    return problems
 
 
 def run_bench_suite() -> dict[str, Any]:
@@ -192,13 +297,14 @@ def build_report(raw: dict[str, Any]) -> dict[str, Any]:
         ),
         "python": platform.python_version(),
         "platform": platform.platform(),
-        "machine_dependent": ["benches", "jobs_per_second"],
+        "machine_dependent": ["benches", "jobs_per_second", "ingestion"],
         "machine_independent": ["normalised", "speedups", "trace_fingerprints"],
         "benches": benches,
         "jobs_per_second": rates,
         "normalised": normalised,
         "speedups": speedups,
         "trace_fingerprints": trace_fingerprints(),
+        "ingestion": ingestion_report(),
     }
 
 
@@ -294,15 +400,24 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  speedup {label}: {val:.2f}x")
     for name, val in sorted(report["jobs_per_second"].items()):
         print(f"  rate {name}: {val:,.0f} jobs/s")
+    ing = report["ingestion"]
+    print(
+        f"  ingestion RSS ({ing['log_jobs']:,} jobs): streaming "
+        f"{ing['streaming']['maxrss_kb'] / 1024:.0f} MB vs eager "
+        f"{ing['eager']['maxrss_kb'] / 1024:.0f} MB "
+        f"(ratio {ing['rss_ratio']:.2f}, limit {INGESTION_RSS_RATIO_MAX})"
+    )
 
     if args.write:
-        # floors still apply when minting a baseline
+        # floors still apply when minting a baseline, and so does the
+        # streaming-memory bound
         bad = [
             f"speedup {label!r} = {report['speedups'].get(label, 0.0):.2f}x "
             f"below floor {floor:.1f}x"
             for label, floor in SPEEDUP_FLOORS.items()
             if report["speedups"].get(label, 0.0) < floor
         ]
+        bad.extend(check_ingestion(report["ingestion"]))
         if bad:
             print("bench_gate: FAIL", file=sys.stderr)
             for line in bad:
@@ -327,6 +442,7 @@ def main(argv: list[str] | None = None) -> int:
         return 1
 
     problems = check_report(report, baseline, args.threshold)
+    problems.extend(check_ingestion(report["ingestion"]))
     if problems:
         print("bench_gate: FAIL", file=sys.stderr)
         for p in problems:

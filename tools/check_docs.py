@@ -47,13 +47,23 @@ DEFAULT_DOCS = (
     "README.md",
     "docs/TRACING.md",
     "docs/STATIC_ANALYSIS.md",
+    "docs/WORKLOADS.md",
+    "docs/FAULT_TOLERANCE.md",
+    "docs/API.md",
     "EXPERIMENTS.md",
     "DESIGN.md",
 )
 
 #: only these docs get their fenced blocks *executed* (the others are
-#: still link/anchor checked -- their fences quote output, not input)
-EXECUTABLE_DOCS = ("README.md", "docs/TRACING.md", "docs/STATIC_ANALYSIS.md", "DESIGN.md")
+#: still link/anchor checked -- their fences quote output, not input,
+#: and docs/API.md is generated prose gated by gen_api_docs --check)
+EXECUTABLE_DOCS = (
+    "README.md",
+    "docs/TRACING.md",
+    "docs/STATIC_ANALYSIS.md",
+    "docs/WORKLOADS.md",
+    "DESIGN.md",
+)
 
 RUN_MARKER = "<!-- docs-check: run -->"
 SKIP_MARKER = "<!-- docs-check: skip -->"

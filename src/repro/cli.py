@@ -436,7 +436,9 @@ def main(argv: list[str] | None = None) -> int:
         # output piped into a pager/head that closed early -- not an error
         try:
             sys.stdout.close()
-        except Exception:
+        except (OSError, ValueError):
+            # close() flushing into the dead pipe, or a double-close --
+            # the only failures a torn-down stdout can produce
             pass
         return 0
 

@@ -498,7 +498,7 @@ def _kill_pool(pool: ProcessPoolExecutor) -> None:
     for proc in list(processes.values()):
         try:
             proc.kill()
-        except Exception:  # already dead / never started
+        except (OSError, ValueError):  # already dead / never started
             pass
     pool.shutdown(wait=False, cancel_futures=True)
 

@@ -2,14 +2,19 @@
 
 Usage::
 
-    repro-sched lint [paths ...] [--baseline FILE] [--format human|json]
-                     [--jobs N] [--select RPR001,RPR004] [--no-baseline]
-                     [--update-baseline] [--list-rules] [--verbose]
+    repro-sched lint [paths ...] [--baseline FILE] [--format human|json|sarif]
+                     [--output FILE] [--jobs N] [--select RPR001,RPR004]
+                     [--summary-cache DIR] [--report-unused-suppressions]
+                     [--no-baseline] [--update-baseline] [--list-rules]
+                     [--verbose]
 
 Exit status: 0 when no active findings, 1 when there are, 2 on usage
 errors.  The default baseline is ``tools/lint_baseline.json`` relative
 to the repository root (located by walking up from the first path to a
 ``pyproject.toml``); ``--no-baseline`` shows the raw picture.
+``--output`` writes the formatted report to a file (the human summary
+still prints to stdout), which is how CI produces its SARIF artifact
+without losing the terminal report.
 """
 
 from __future__ import annotations
@@ -20,20 +25,13 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.lint.baseline import Baseline
-from repro.lint.engine import lint_paths, render_human
+from repro.lint.engine import LintReport, lint_paths, render_human, rule_catalogue
 from repro.lint.findings import render_json
-from repro.lint.project import RULE as PROJECT_RULE
-from repro.lint.rules import PER_FILE_CHECKERS
+from repro.lint.sarif import render_sarif
+
+__all__ = ["build_parser", "main", "rule_catalogue"]
 
 DEFAULT_BASELINE_NAME = "tools/lint_baseline.json"
-
-
-def rule_catalogue() -> list[tuple[str, str]]:
-    """(rule id, one-line title) pairs, in rule-id order."""
-    rows = [(c.rule, c.title) for c in PER_FILE_CHECKERS]
-    rows.append((PROJECT_RULE, "cross-file protocol conformance"))
-    rows.append(("RPR000", "framework diagnostics (parse/suppression/baseline)"))
-    return sorted(rows)
 
 
 def find_default_baseline(paths: Sequence[str]) -> Path | None:
@@ -45,6 +43,21 @@ def find_default_baseline(paths: Sequence[str]) -> Path | None:
         if (candidate / "pyproject.toml").exists():
             return candidate / DEFAULT_BASELINE_NAME
     return None
+
+
+def sarif_uri_base(paths: Sequence[str]) -> str:
+    """The prefix that turns root-relative finding paths back into
+    repo-relative SARIF URIs (``lint/engine.py`` -> ``src/repro/...``).
+
+    Only the single-directory-root case gets a prefix; multi-root runs
+    keep bare relpaths rather than guessing.
+    """
+    if len(paths) != 1:
+        return ""
+    p = Path(paths[0])
+    if not p.is_dir():
+        return ""
+    return p.as_posix().rstrip("/")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -78,9 +91,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("human", "json"),
+        choices=("human", "json", "sarif"),
         default="human",
         help="output format",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the formatted report to FILE and print the human "
+        "summary to stdout",
     )
     parser.add_argument(
         "--jobs",
@@ -96,12 +116,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule subset (e.g. RPR001,RPR004)",
     )
     parser.add_argument(
+        "--summary-cache",
+        default=None,
+        metavar="DIR",
+        help="content-addressed per-file analysis cache; a warm run "
+        "re-analyses only changed files (bypassed under --select)",
+    )
+    parser.add_argument(
+        "--report-unused-suppressions",
+        action="store_true",
+        help="flag repro-lint disable directives that no longer suppress "
+        "anything (stale-directive audit; implies full rule set)",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue and exit"
     )
     parser.add_argument(
         "--verbose", action="store_true", help="also show baselined findings"
     )
     return parser
+
+
+def _render(report: LintReport, fmt: str, *, uri_base: str, verbose: bool) -> str:
+    if fmt == "json":
+        return render_json(
+            report.active,
+            suppressed=report.suppressed,
+            baselined=len(report.baselined),
+            files=report.files,
+            stale_baseline=report.stale_baseline,
+        )
+    if fmt == "sarif":
+        return render_sarif(report, uri_base=uri_base)
+    return render_human(report, verbose=verbose)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -115,6 +162,13 @@ def main(argv: list[str] | None = None) -> int:
     select = None
     if args.select:
         select = [r.strip() for r in args.select.split(",") if r.strip()]
+    if select is not None and args.report_unused_suppressions:
+        print(
+            "error: --report-unused-suppressions needs the full rule set "
+            "(drop --select)",
+            file=sys.stderr,
+        )
+        return 2
 
     baseline: Baseline | None = None
     if not args.no_baseline:
@@ -132,7 +186,12 @@ def main(argv: list[str] | None = None) -> int:
 
     try:
         report = lint_paths(
-            args.paths, baseline=baseline, jobs=max(args.jobs, 1), select=select
+            args.paths,
+            baseline=baseline,
+            jobs=max(args.jobs, 1),
+            select=select,
+            summary_cache=args.summary_cache,
+            report_unused_suppressions=args.report_unused_suppressions,
         )
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -154,18 +213,16 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 0
 
-    if args.format == "json":
-        print(
-            render_json(
-                report.active,
-                suppressed=report.suppressed,
-                baselined=len(report.baselined),
-                files=report.files,
-                stale_baseline=report.stale_baseline,
-            )
+    uri_base = sarif_uri_base(list(args.paths))
+    if args.output is not None:
+        Path(args.output).write_text(
+            _render(report, args.format, uri_base=uri_base, verbose=args.verbose)
+            + "\n",
+            encoding="utf-8",
         )
-    else:
         print(render_human(report, verbose=args.verbose))
+    else:
+        print(_render(report, args.format, uri_base=uri_base, verbose=args.verbose))
     return report.exit_code
 
 

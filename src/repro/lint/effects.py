@@ -1,0 +1,275 @@
+"""Effect propagation and the interprocedural rules RPR007-RPR009.
+
+:func:`propagate_effects` folds the per-function effect seeds extracted
+by :mod:`repro.lint.callgraph` to a fixpoint over the call graph: a
+function's effect set is the union of its own seeds and every resolved
+callee's set.  The lattice is finite (five atoms, union-monotone), so
+the iteration terminates regardless of recursion cycles.
+
+On top of the fixpoint:
+
+* **RPR007** -- a *patrolled* function (decision-path file per
+  ``DECISION_PATH_RE``, or a ``*Tracer*`` method) calls outside the
+  patrolled perimeter into code that transitively reaches a
+  nondeterminism taint atom (rng / wall-clock / hash-order).  Calls
+  *within* the perimeter are exempt: the callee carries its own finding
+  (or its seed is already RPR001/RPR002's business), so each taint
+  chain is reported exactly once, at the point where it crosses into
+  unpatrolled code.
+* **RPR008** -- a broad ``except`` handler (``Exception`` /
+  ``BaseException`` / bare) that can swallow a fault without re-raise,
+  quarantine, or a counters increment, either directly in the handler
+  body or transitively through any function the handler calls
+  (:func:`sanction_closure`).
+* **RPR009** -- contract drift: functions the cache/fingerprint layer
+  assumes pure (``Scheduler.config()`` / ``describe()``, pipeline-stage
+  ``config()``, anything named ``*fingerprint*``) that transitively
+  acquire *any* effect.
+
+Findings carry the shortest seed chain in the message (a breadth-first
+walk over deterministic adjacency), but messages stay out of the
+fingerprint, so a chain that lengthens by one frame does not invalidate
+a baseline entry.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.lint.callgraph import CallGraph, Seed
+from repro.lint.checker import DECISION_PATH_RE
+from repro.lint.findings import Finding
+
+#: the atoms that make a decision path irreproducible (filesystem and
+#: global mutation are real effects but not *schedule-steering* ones)
+TAINT_EFFECTS = frozenset({"rng", "wall-clock", "hash-order"})
+
+#: (relpath, line) -> stripped source text, provided by the engine
+SnippetFn = Callable[[str, int], str]
+
+
+def propagate_effects(graph: CallGraph) -> dict[str, frozenset[str]]:
+    """The transitive effect set of every node, to fixpoint."""
+    effects: dict[str, frozenset[str]] = {
+        nid: frozenset(s.effect for s in node.seeds)
+        for nid, node in graph.nodes.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for nid in graph.order:
+            acc = effects[nid]
+            for _, callee in graph.resolved.get(nid, ()):
+                acc = acc | effects[callee]
+            if acc != effects[nid]:
+                effects[nid] = acc
+                changed = True
+    return effects
+
+
+def sanction_closure(graph: CallGraph) -> frozenset[str]:
+    """Nodes that re-raise, bump a counter, or quarantine -- directly or
+    through any call chain (what a broad handler may safely call)."""
+    sanctioned = {
+        nid
+        for nid, node in graph.nodes.items()
+        if node.raises or node.counter_increment or node.quarantine
+    }
+    changed = True
+    while changed:
+        changed = False
+        for nid in graph.order:
+            if nid in sanctioned:
+                continue
+            for _, callee in graph.resolved.get(nid, ()):
+                if callee in sanctioned:
+                    sanctioned.add(nid)
+                    changed = True
+                    break
+    return frozenset(sanctioned)
+
+
+def seed_chain(
+    graph: CallGraph,
+    effects: dict[str, frozenset[str]],
+    start: str,
+    atoms: frozenset[str],
+) -> tuple[tuple[str, ...], Seed]:
+    """Shortest call chain from *start* to a seed in *atoms* (BFS over
+    deterministic adjacency, so the chosen witness never flaps)."""
+    queue: deque[tuple[str, tuple[str, ...]]] = deque([(start, (start,))])
+    seen = {start}
+    while queue:
+        nid, path = queue.popleft()
+        node = graph.nodes[nid]
+        for seed in node.seeds:
+            if seed.effect in atoms:
+                return path, seed
+        for _, callee in graph.resolved.get(nid, ()):
+            if callee not in seen and effects[callee] & atoms:
+                seen.add(callee)
+                queue.append((callee, path + (callee,)))
+    # unreachable when effects[start] & atoms is nonempty, but keep a
+    # defensible fallback rather than an assert
+    return (start,), Seed(sorted(atoms)[0], "unknown source", 0)
+
+
+def _is_patrolled(graph: CallGraph, nid: str) -> bool:
+    """Decision-path functions and trace-emitter methods."""
+    relpath = graph.node_relpath[nid].replace("\\", "/")
+    if DECISION_PATH_RE.search(relpath):
+        return True
+    node = graph.nodes[nid]
+    return node.cls is not None and "Tracer" in node.cls
+
+
+def _is_contract(graph: CallGraph, nid: str) -> bool:
+    """Functions the cache/fingerprint layer assumes pure (RPR009)."""
+    node = graph.nodes[nid]
+    if "fingerprint" in node.name:
+        return True
+    cls = graph.class_of(nid)
+    if cls is None:
+        return False
+    if node.name in ("config", "describe") and cls.scheduler_like:
+        return True
+    if node.name == "config" and (
+        cls.name.endswith("Stage") or cls.name.endswith("Pipeline")
+    ):
+        return True
+    return False
+
+
+def _chain_text(graph: CallGraph, chain: tuple[str, ...]) -> str:
+    return " -> ".join(graph.nodes[nid].qualname for nid in chain)
+
+
+def check_transitive_taint(
+    graph: CallGraph,
+    effects: dict[str, frozenset[str]],
+    snippet_of: SnippetFn,
+) -> list[Finding]:
+    """RPR007: nondeterminism taint crossing into a patrolled function."""
+    findings: list[Finding] = []
+    for nid in graph.order:
+        if not _is_patrolled(graph, nid):
+            continue
+        if _is_contract(graph, nid):
+            continue  # RPR009's beat; one finding per defect
+        relpath = graph.node_relpath[nid]
+        caller = graph.nodes[nid]
+        reported: set[tuple[int, str]] = set()
+        for site, callee in graph.resolved.get(nid, ()):
+            atoms = effects[callee] & TAINT_EFFECTS
+            if not atoms:
+                continue
+            if _is_patrolled(graph, callee):
+                continue  # the callee carries its own finding
+            if (site.line, callee) in reported:
+                continue
+            reported.add((site.line, callee))
+            chain, seed = seed_chain(graph, effects, callee, atoms)
+            findings.append(
+                Finding(
+                    rule="RPR007",
+                    path=relpath,
+                    line=site.line,
+                    col=site.col,
+                    message=(
+                        f"call into {graph.nodes[callee].qualname}() "
+                        f"transitively reaches {seed.detail} "
+                        f"[{'/'.join(sorted(atoms))}] via "
+                        f"{_chain_text(graph, chain)}; decision and trace "
+                        "paths must take time and randomness from the "
+                        "engine, not ambient state"
+                    ),
+                    snippet=snippet_of(relpath, site.line),
+                    symbol=caller.qualname,
+                )
+            )
+    return findings
+
+
+def check_exception_flow(
+    graph: CallGraph, snippet_of: SnippetFn
+) -> list[Finding]:
+    """RPR008: broad handlers that can swallow faults untraced."""
+    sanctioned = sanction_closure(graph)
+    findings: list[Finding] = []
+    for nid in graph.order:
+        node = graph.nodes[nid]
+        if not node.broad_excepts:
+            continue
+        relpath = graph.node_relpath[nid]
+        for handler in node.broad_excepts:
+            if handler.sanctioned:
+                continue
+            ok = False
+            for site in handler.handler_calls:
+                for callee in graph.resolve_site(relpath, node, site):
+                    if callee in sanctioned:
+                        ok = True
+                        break
+                if ok:
+                    break
+            if ok:
+                continue
+            what = (
+                "bare `except:`"
+                if handler.kind == "bare"
+                else f"broad `except {handler.kind}`"
+            )
+            findings.append(
+                Finding(
+                    rule="RPR008",
+                    path=relpath,
+                    line=handler.line,
+                    col=handler.col,
+                    message=(
+                        f"{what} swallows faults without re-raise, "
+                        "quarantine, or a counters increment (directly or "
+                        "via anything it calls); narrow the exception or "
+                        "record the fault so degraded runs stay observable"
+                    ),
+                    snippet=snippet_of(relpath, handler.line),
+                    symbol=node.qualname,
+                )
+            )
+    return findings
+
+
+def check_contract_drift(
+    graph: CallGraph,
+    effects: dict[str, frozenset[str]],
+    snippet_of: SnippetFn,
+) -> list[Finding]:
+    """RPR009: assumed-pure fingerprint inputs acquiring effects."""
+    findings: list[Finding] = []
+    for nid in graph.order:
+        if not _is_contract(graph, nid):
+            continue
+        acquired = effects[nid]
+        if not acquired:
+            continue
+        relpath = graph.node_relpath[nid]
+        node = graph.nodes[nid]
+        chain, seed = seed_chain(graph, effects, nid, acquired)
+        findings.append(
+            Finding(
+                rule="RPR009",
+                path=relpath,
+                line=node.line,
+                col=node.col,
+                message=(
+                    f"{node.qualname}() feeds cache fingerprints but "
+                    f"acquires effects [{'/'.join(sorted(acquired))}] "
+                    f"({seed.detail} via {_chain_text(graph, chain)}); "
+                    "fingerprint inputs must stay pure or the cache "
+                    "serves stale results for live configurations"
+                ),
+                snippet=snippet_of(relpath, node.line),
+                symbol=node.qualname,
+            )
+        )
+    return findings

@@ -1,0 +1,141 @@
+"""Content-addressed cache of per-file analysis results.
+
+The same discipline as :class:`repro.experiments.cache.ResultCache`,
+applied to the linter itself: a file's per-file analysis (findings,
+suppression accounting, interprocedural summary) is a pure function of
+
+* the **analyser** -- every source file of :mod:`repro.lint`, hashed
+  together (:func:`analyzer_fingerprint`), so editing any rule, table
+  or the framework silently invalidates every cached entry; and
+* the **analysed source** -- relpath plus file bytes.
+
+Keys hash exactly those inputs; values are pickled
+:class:`~repro.lint.engine.FileResult` records under a two-level
+fan-out (``<dir>/<key[:2]>/<key>.pkl``).  Writes are atomic (tempfile +
+``os.replace``); unreadable entries are quarantined to ``*.corrupt``
+rather than deleted, exactly like the result cache, so the read path
+never mutates a slot destructively.  A warm lint therefore re-analyses
+only changed modules -- and because cached and fresh results are the
+same deterministic data, warm, cold, serial and parallel runs all
+produce byte-identical reports.
+
+Cross-file passes (RPR004 and the call-graph rules RPR007-009) always
+re-run over the merged summaries: they are cheap relative to per-file
+AST analysis and depend on the *set* of files, which no per-file key
+can see.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from functools import lru_cache
+from pathlib import Path
+from typing import Any
+
+
+@lru_cache(maxsize=1)
+def analyzer_fingerprint() -> str:
+    """SHA-256 over every source file of the lint package itself.
+
+    Computed once per process; hashing ~10 small files is microseconds
+    next to an AST pass.  Reading file *contents* keeps the key honest
+    in a way a version constant never is: there is no "bump the
+    version" step to forget.
+    """
+    h = hashlib.sha256()
+    h.update(b"repro-lint-analyzer-v1")
+    pkg_dir = Path(__file__).resolve().parent
+    for path in sorted(pkg_dir.glob("*.py")):
+        h.update(path.name.encode())
+        h.update(b"\0")
+        h.update(path.read_bytes())
+        h.update(b"\0")
+    return h.hexdigest()
+
+
+def entry_key(relpath: str, source: str) -> str:
+    """The content address of one (analyser, file) pair."""
+    h = hashlib.sha256()
+    h.update(analyzer_fingerprint().encode())
+    h.update(b"\0")
+    h.update(relpath.encode())
+    h.update(b"\0")
+    h.update(source.encode())
+    return h.hexdigest()
+
+
+class SummaryCache:
+    """Directory-backed map from content keys to pickled file results.
+
+    Counters (``hits`` / ``misses`` / ``stores`` / ``corrupt``) are
+    per-instance diagnostics; tests and the acceptance criteria use
+    them to assert a warm second run re-analyses only changed modules.
+    """
+
+    def __init__(self, root: str | os.PathLike[str]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.corrupt = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, relpath: str, source: str) -> Any | None:
+        """The cached analysis for this exact source, or ``None``.
+
+        ``Exception``-wide on purpose, like ``ResultCache.get``:
+        unpickling garbage bytes can raise nearly anything, and none of
+        it may escape a cache probe -- the entry is quarantined and the
+        file simply re-analysed.
+        """
+        path = self._path(entry_key(relpath, source))
+        try:
+            with path.open("rb") as fh:
+                result = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def _quarantine(self, path: Path) -> None:
+        """Move an unreadable entry aside as ``<name>.pkl.corrupt``."""
+        try:
+            path.rename(path.with_name(path.name + ".corrupt"))
+        except OSError:  # raced away, or the path is not renameable
+            return
+        self.corrupt += 1
+
+    def put(self, relpath: str, source: str, result: Any) -> None:
+        """Store one analysis result atomically."""
+        path = self._path(entry_key(relpath, source))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SummaryCache {self.root} hits={self.hits} "
+            f"misses={self.misses} stores={self.stores} "
+            f"corrupt={self.corrupt}>"
+        )

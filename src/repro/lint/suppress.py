@@ -55,10 +55,19 @@ class Suppressions:
 
     def covers(self, rule: str, line: int) -> bool:
         """Whether a (justified) directive suppresses *rule* on *line*."""
+        return self.covering(rule, line) is not None
+
+    def covering(self, rule: str, line: int) -> Directive | None:
+        """The directive suppressing *rule* on *line*, if any.
+
+        Callers that need to *account* for a suppression (the stale-
+        directive audit marks directives used when they fire) take the
+        directive itself; plain yes/no callers use :meth:`covers`.
+        """
         for d in self._by_line.get(line, ()):
             if "all" in d.rules or rule in d.rules:
-                return True
-        return False
+                return d
+        return None
 
 
 def parse_suppressions(source: str, path: str) -> Suppressions:

@@ -838,7 +838,17 @@ class TestCli:
     def test_list_rules(self, capsys: pytest.CaptureFixture) -> None:
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006"):
+        for rule in (
+            "RPR001",
+            "RPR002",
+            "RPR003",
+            "RPR004",
+            "RPR005",
+            "RPR006",
+            "RPR007",
+            "RPR008",
+            "RPR009",
+        ):
             assert rule in out
 
 

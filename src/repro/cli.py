@@ -189,6 +189,15 @@ def _add_parallel_args(p: argparse.ArgumentParser) -> None:
         help="retry a crashed or hung cell up to N times with exponential "
         "backoff before giving up (default: 0)",
     )
+    p.add_argument(
+        "--shm",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="publish each distinct workload once to a shared-memory "
+        "segment so grid cells pickle a ~200-byte reference instead of "
+        "the whole job list (default: on whenever --workers uses a pool; "
+        "--no-shm forces the inline path)",
+    )
 
 
 def _cache_from_args(args: argparse.Namespace) -> ResultCache | None:
@@ -481,6 +490,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             trace_dir=args.trace_dir,
             policy=_policy_from_args(args),
             counters=counters,
+            shm=args.shm,
         )
         if counters:
             print(format_grid_counters(counters), file=sys.stderr)
@@ -526,6 +536,8 @@ def _dispatch(args: argparse.Namespace) -> int:
                 kwargs["cache"] = _cache_from_args(args)
             if "policy" in params:
                 kwargs["policy"] = _policy_from_args(args)
+            if "shm" in params:
+                kwargs["shm"] = args.shm
             out = fn(**kwargs)
         else:
             out = fn()
@@ -626,6 +638,7 @@ def _dispatch_workload(args: argparse.Namespace) -> int:
             counters=counters,
             provenance={"pipeline": pipeline.fingerprint(), "source": "swf"},
             trace_dir=args.trace_dir,
+            shm=args.shm,
         )
         if counters:
             print(format_grid_counters(counters), file=sys.stderr)

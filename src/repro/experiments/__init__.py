@@ -13,6 +13,11 @@
 * :mod:`repro.experiments.cache` -- :class:`ResultCache`, the
   content-addressed on-disk result store keyed by (workload, machine,
   scheduler config, overhead model, migratable flag) fingerprints.
+* :mod:`repro.experiments.shm` -- the zero-copy workload plane:
+  :class:`WorkloadPlane` publishes each distinct job list once as a
+  shared-memory struct-of-arrays segment and grid cells carry a
+  :class:`JobsRef` instead of the list, so dispatch pickles stay tiny
+  and workers decode each workload once per process.
 * :mod:`repro.experiments.paper` -- one entry per paper table/figure;
   each returns the rows/series the paper plots, as plain data.
 """
@@ -47,6 +52,13 @@ from repro.experiments.runner import (
     standard_schemes,
     tuned_schemes,
 )
+from repro.experiments.shm import (
+    JobsRef,
+    WorkloadPlane,
+    decode_jobs,
+    encode_jobs,
+    resolve_jobs,
+)
 
 __all__ = [
     "CellFailure",
@@ -54,18 +66,23 @@ __all__ = [
     "GridExecutionError",
     "GridOutcome",
     "GridPolicy",
+    "JobsRef",
     "ResultCache",
     "SchemeSpec",
     "ShardedReplayOutcome",
     "SuspensionOverheadModel",
+    "WorkloadPlane",
     "WorkloadShard",
     "cell_fingerprint",
     "compare_schemes",
     "compare_schemes_parallel",
+    "decode_jobs",
+    "encode_jobs",
     "fingerprint_jobs",
     "iter_time_shards",
     "outcome_fingerprint",
     "replay_sharded",
+    "resolve_jobs",
     "run_grid",
     "shard_cell",
     "simulate",

@@ -17,7 +17,7 @@ leaving category populations large enough for stable averages; pass
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Mapping
 
 from repro.analysis.report import scheme_comparison_report
 from repro.analysis.tables import category_grid_table, series_table
@@ -35,6 +35,7 @@ from repro.experiments.runner import (
     standard_schemes,
     tuned_schemes,
 )
+from repro.experiments.shm import JobsRef, WorkloadPlane
 from repro.metrics.aggregate import (
     category_shares,
     overall_stats,
@@ -47,6 +48,7 @@ from repro.workload.categories import classify_four_way
 from repro.workload.estimates import EstimateModel, InaccurateEstimates
 from repro.workload.job import Job
 from repro.workload.load import scale_load
+from repro.workload.pipeline import LoadScaleStage, WorkloadPipeline
 from repro.workload.synthetic import generate_trace
 
 #: Default trace size for experiment regeneration.
@@ -218,17 +220,26 @@ def ss_average_metrics(
     workers: int | None = None,
     cache: ResultCache | None = None,
     policy: GridPolicy | None = None,
+    shm: bool | None = None,
 ) -> ExperimentOutput:
     """Figs 7-10: mean slowdown & turnaround per category, SS vs NS vs IS.
 
     ``data``: ``"slowdown"``/``"turnaround"`` -> scheme -> category -> mean.
     ``workers``/``cache`` fan the scheme cells out over a process pool
-    and/or an on-disk result cache (see :mod:`repro.experiments.parallel`).
+    and/or an on-disk result cache (see :mod:`repro.experiments.parallel`);
+    ``shm`` controls the shared-memory workload plane (default: on in
+    pool mode).
     """
     preset = get_preset(trace)
     jobs = _trace(trace, n_jobs, seed)
     results = compare_schemes_parallel(
-        jobs, preset.n_procs, standard_schemes(), workers=workers, cache=cache, policy=policy
+        jobs,
+        preset.n_procs,
+        standard_schemes(),
+        workers=workers,
+        cache=cache,
+        policy=policy,
+        shm=shm,
     )
     data = {
         "slowdown": _mean_grids(results, "slowdown"),
@@ -271,6 +282,7 @@ def ss_worst_case(
     workers: int | None = None,
     cache: ResultCache | None = None,
     policy: GridPolicy | None = None,
+    shm: bool | None = None,
 ) -> ExperimentOutput:
     """Figs 11-12 (CTC) / 15-16 (SDSC): worst-case slowdown & turnaround.
 
@@ -285,6 +297,7 @@ def ss_worst_case(
         workers=workers,
         cache=cache,
         policy=policy,
+        shm=shm,
     )
     data = {
         "slowdown": _mean_grids(results, "slowdown", statistic="worst"),
@@ -327,6 +340,7 @@ def tss_worst_case(
     workers: int | None = None,
     cache: ResultCache | None = None,
     policy: GridPolicy | None = None,
+    shm: bool | None = None,
 ) -> ExperimentOutput:
     """Figs 13-14 (CTC) / 17-18 (SDSC): TSS vs SS vs NS vs IS worst cases."""
     preset = get_preset(trace)
@@ -336,7 +350,7 @@ def tss_worst_case(
         s for s in tuned_schemes(suspension_factors=(2.0,)) if "Tuned" in s.label
     ]
     results = compare_schemes_parallel(
-        jobs, preset.n_procs, specs, workers=workers, cache=cache, policy=policy
+        jobs, preset.n_procs, specs, workers=workers, cache=cache, policy=policy, shm=shm
     )
     data = {
         "slowdown": _mean_grids(results, "slowdown", statistic="worst"),
@@ -380,6 +394,7 @@ def estimate_impact(
     workers: int | None = None,
     cache: ResultCache | None = None,
     policy: GridPolicy | None = None,
+    shm: bool | None = None,
 ) -> ExperimentOutput:
     """Figs 19-24 (CTC) / 25-30 (SDSC): inaccurate user estimates.
 
@@ -394,7 +409,13 @@ def estimate_impact(
         trace, n_jobs, seed, estimates=InaccurateEstimates(badly_fraction=badly_fraction)
     )
     results = compare_schemes_parallel(
-        jobs, preset.n_procs, tuned_schemes(), workers=workers, cache=cache, policy=policy
+        jobs,
+        preset.n_procs,
+        tuned_schemes(),
+        workers=workers,
+        cache=cache,
+        policy=policy,
+        shm=shm,
     )
     data: dict[str, Any] = {}
     blocks: list[str] = []
@@ -434,6 +455,7 @@ def overhead_impact(
     workers: int | None = None,
     cache: ResultCache | None = None,
     policy: GridPolicy | None = None,
+    shm: bool | None = None,
 ) -> ExperimentOutput:
     """Figs 31-34: SS with modelled suspend/restart overhead.
 
@@ -446,7 +468,7 @@ def overhead_impact(
     overhead = DiskSwapOverheadModel()
     tuned = [s for s in tuned_schemes(suspension_factors=(2.0,)) if "Tuned" in s.label]
     free = compare_schemes_parallel(
-        jobs, preset.n_procs, tuned, workers=workers, cache=cache, policy=policy
+        jobs, preset.n_procs, tuned, workers=workers, cache=cache, policy=policy, shm=shm
     )
     loaded = compare_schemes_parallel(
         jobs,
@@ -456,6 +478,7 @@ def overhead_impact(
         workers=workers,
         cache=cache,
         policy=policy,
+        shm=shm,
     )
     results = {
         "SF = 2": free["SF = 2 Tuned"],
@@ -503,6 +526,7 @@ def load_variation(
     workers: int | None = None,
     cache: ResultCache | None = None,
     policy: GridPolicy | None = None,
+    shm: bool | None = None,
 ) -> ExperimentOutput:
     """Figs 35-44: behaviour under scaled load.
 
@@ -523,6 +547,16 @@ def load_variation(
     them), then every (scheme, load) cell at once.  With a *cache* the
     NS scheme cells hit the just-stored baseline fingerprints for free.
 
+    With ``shm=True`` the base trace is published **once** to the
+    shared-memory workload plane and every (scheme, load) cell carries
+    a ref whose :class:`~repro.workload.pipeline.LoadScaleStage` config
+    is applied worker-side after decode -- one segment for the whole
+    ``len(loads) x 3`` grid instead of ``len(loads)`` scaled copies in
+    every cell pickle.  :class:`LoadScaleStage` computes exactly what
+    :func:`~repro.workload.load.scale_load` computes, so results are
+    byte-identical either way (cache keys differ: ref cells hash
+    (base, pipeline), not the materialised scaled jobs).
+
     ``data``: ``"loads"``, ``"utilization"`` (scheme -> [..]),
     ``"slowdown"``/``"turnaround"`` (scheme -> category -> [..]).
     """
@@ -530,38 +564,66 @@ def load_variation(
     base = _trace(trace, n_jobs, seed)
     schemes = ["SF = 2 Tuned", "No Suspension", "IS"]
     specs = [s for s in tuned_schemes(suspension_factors=(2.0,)) if s.label in schemes]
-    scaled = {load: scale_load(base, load) for load in loads}
 
-    # Phase 1: the NS baseline for each load (calibrates the tuned spec).
-    baseline_cells = [
-        GridCell(
-            key=f"NS@{load:g}",
+    plane: WorkloadPlane | None = None
+    refs: dict[float, JobsRef] = {}
+    scaled: dict[float, list[Job]] = {}
+    if shm:
+        plane = WorkloadPlane()
+        for load in loads:
+            ref = plane.publish(
+                base, pipeline=WorkloadPipeline([LoadScaleStage(load)])
+            )
+            if ref is None:  # shared memory unavailable: inline fallback
+                plane.close()
+                plane = None
+                refs.clear()
+                break
+            refs[load] = ref
+    if not refs:
+        scaled = {load: scale_load(base, load) for load in loads}
+
+    def _cell(key: str, load: float, scheduler_config: Mapping[str, object]) -> GridCell:
+        if refs:
+            return GridCell(
+                key=key,
+                jobs_ref=refs[load],
+                n_procs=preset.n_procs,
+                scheduler_config=scheduler_config,
+            )
+        return GridCell(
+            key=key,
             jobs=scaled[load],
             n_procs=preset.n_procs,
-            scheduler_config=EasyBackfillScheduler().config(),
+            scheduler_config=scheduler_config,
         )
-        for load in loads
-    ]
-    baselines = run_grid(baseline_cells, workers=workers, cache=cache, policy=policy).results
 
-    # Phase 2: every (scheme, load) cell in one fan-out.
-    cells: list[GridCell] = []
-    for load in loads:
-        for spec in specs:
-            if spec.needs_baseline:
-                assert spec.factory_with_baseline is not None
-                scheduler = spec.factory_with_baseline(baselines[f"NS@{load:g}"])
-            else:
-                scheduler = spec.factory()
-            cells.append(
-                GridCell(
-                    key=f"{spec.label}@{load:g}",
-                    jobs=scaled[load],
-                    n_procs=preset.n_procs,
-                    scheduler_config=scheduler.config(),
-                )
-            )
-    grid = run_grid(cells, workers=workers, cache=cache, policy=policy).results
+    try:
+        # Phase 1: the NS baseline for each load (calibrates the tuned spec).
+        baseline_cells = [
+            _cell(f"NS@{load:g}", load, EasyBackfillScheduler().config())
+            for load in loads
+        ]
+        baselines = run_grid(
+            baseline_cells, workers=workers, cache=cache, policy=policy, shm=shm
+        ).results
+
+        # Phase 2: every (scheme, load) cell in one fan-out.
+        cells: list[GridCell] = []
+        for load in loads:
+            for spec in specs:
+                if spec.needs_baseline:
+                    assert spec.factory_with_baseline is not None
+                    scheduler = spec.factory_with_baseline(baselines[f"NS@{load:g}"])
+                else:
+                    scheduler = spec.factory()
+                cells.append(_cell(f"{spec.label}@{load:g}", load, scheduler.config()))
+        grid = run_grid(
+            cells, workers=workers, cache=cache, policy=policy, shm=shm
+        ).results
+    finally:
+        if plane is not None:
+            plane.close()
 
     utilization: dict[str, list[float]] = {s: [] for s in schemes}
     sd: dict[str, dict[tuple[str, str], list[float]]] = {s: {} for s in schemes}

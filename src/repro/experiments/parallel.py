@@ -45,12 +45,18 @@ import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.experiments.cache import ResultCache, cell_fingerprint, fingerprint_jobs
 from repro.experiments.runner import SchemeSpec, simulate
+from repro.experiments.shm import (
+    JobsRef,
+    WorkloadPlane,
+    decode_stats_snapshot,
+    resolve_jobs,
+)
 from repro.obs.counters import GridCounters
 from repro.schedulers.easy import EasyBackfillScheduler
 from repro.schedulers.registry import scheduler_from_config
@@ -68,12 +74,20 @@ class GridCell:
     ``key`` is the caller's name for the cell (scheme label, "(scheme,
     load)" string, ...) and must be unique within one :func:`run_grid`
     call -- it keys the merged result dict.
+
+    The workload travels one of two ways: inline ``jobs`` (the classic
+    path -- the whole list rides inside the cell's pickle) or a
+    ``jobs_ref`` into the shared-memory workload plane
+    (:mod:`repro.experiments.shm` -- the pickle carries ~200 bytes and
+    the worker attaches/decodes once per process).  Exactly one of the
+    two must be set; :func:`run_grid` converts inline cells to refs
+    automatically in pool mode (``shm`` parameter).
     """
 
     key: str
-    jobs: list[Job]
-    n_procs: int
-    scheduler_config: Mapping[str, object]
+    jobs: list[Job] | None = None
+    n_procs: int = 0
+    scheduler_config: Mapping[str, object] = field(default_factory=dict)
     overhead_model: SuspensionOverheadModel | None = None
     migratable: bool = False
     #: optional JSONL decision-trace destination (see docs/TRACING.md).
@@ -88,11 +102,47 @@ class GridCell:
     #: replay path stores the workload-pipeline fingerprint and shard
     #: window here; ``None`` leaves fingerprints exactly as before.
     provenance: Mapping[str, object] | None = None
+    #: shared-memory alternative to ``jobs`` (see
+    #: :class:`repro.experiments.shm.JobsRef`); mutually exclusive with it
+    jobs_ref: JobsRef | None = None
+
+    def __post_init__(self) -> None:
+        if (self.jobs is None) == (self.jobs_ref is None):
+            raise ValueError(
+                f"cell {self.key!r}: exactly one of jobs / jobs_ref must be set"
+            )
+        if self.n_procs < 1:
+            raise ValueError(f"cell {self.key!r}: n_procs must be >= 1")
+        if not self.scheduler_config:
+            raise ValueError(f"cell {self.key!r}: scheduler_config is required")
+
+    def workload_source(self) -> object:
+        """The object that *is* this cell's workload (for identity memos)."""
+        return self.jobs if self.jobs is not None else self.jobs_ref
+
+    def jobs_fingerprint(self) -> str:
+        """Workload hash feeding the cache key (ref cells never decode)."""
+        if self.jobs_ref is not None:
+            return self.jobs_ref.cache_jobs_fp()
+        assert self.jobs is not None
+        return fingerprint_jobs(self.jobs)
+
+    def resolve(self) -> list[Job]:
+        """The cell's job list, decoding a ref via the workload plane.
+
+        Do not mutate the result of a ref cell -- it is the per-process
+        memoised decode, shared by every cell over the same workload
+        (the simulation path copies before running).
+        """
+        if self.jobs is not None:
+            return self.jobs
+        assert self.jobs_ref is not None
+        return resolve_jobs(self.jobs_ref)
 
     def fingerprint(self, jobs_fp: str | None = None) -> str:
         """Content address for the cache; *jobs_fp* skips re-hashing."""
         return cell_fingerprint(
-            jobs_fp if jobs_fp is not None else fingerprint_jobs(self.jobs),
+            jobs_fp if jobs_fp is not None else self.jobs_fingerprint(),
             self.n_procs,
             self.scheduler_config,
             self.overhead_model,
@@ -246,12 +296,13 @@ def simulate_cell(cell: GridCell) -> SimulationResult:
     harness wraps this function to crash/hang/kill deterministically.
     """
     scheduler = scheduler_from_config(cell.scheduler_config)
+    jobs = cell.resolve()
     if cell.trace_path is not None:
         from repro.obs.recorder import JsonlRecorder
 
         with JsonlRecorder(cell.trace_path) as recorder:
             return simulate(
-                list(cell.jobs),
+                list(jobs),
                 scheduler,
                 cell.n_procs,
                 cell.overhead_model,
@@ -259,7 +310,7 @@ def simulate_cell(cell: GridCell) -> SimulationResult:
                 recorder=recorder,
             )
     return simulate(
-        list(cell.jobs),
+        list(jobs),
         scheduler,
         cell.n_procs,
         cell.overhead_model,
@@ -510,6 +561,7 @@ def run_grid(
     policy: GridPolicy | None = None,
     counters: GridCounters | None = None,
     simulate_fn: Callable[[GridCell], SimulationResult] | None = None,
+    shm: bool | None = None,
 ) -> GridOutcome:
     """Execute *cells*, in parallel and/or from cache, merging deterministically.
 
@@ -538,6 +590,18 @@ def run_grid(
         (module-level function or :func:`functools.partial` of one) in
         pool mode.  This is the fault-injection seam -- production code
         never passes it.
+    shm:
+        Shared-memory workload plane.  ``None`` (default) enables it
+        automatically whenever a pool will be used -- inline cells are
+        converted to :class:`~repro.experiments.shm.JobsRef` cells so
+        each distinct workload is published once and every worker
+        decodes it once, instead of every cell pickling the whole job
+        list.  ``True``/``False`` force it on/off.  Conversion never
+        changes a cell's cache fingerprint (a pipeline-less ref hashes
+        to the inline workload hash), results stay byte-identical, and
+        the segments are unlinked before this function returns (or, if
+        the coordinator is killed first, by the multiprocessing
+        resource tracker).
 
     The result dict iterates in cell input order regardless of worker
     completion order, and each value is bit-for-bit the result a serial
@@ -566,21 +630,30 @@ def run_grid(
 
     # cache probe -- fingerprint each cell, memoising the workload hash
     # by identity (grids typically reuse one jobs list across schemes).
+    # The memo value PINS the keyed object: an id() key alone would go
+    # stale if the list were collected and its id recycled by a
+    # different workload, silently aliasing it to the old fingerprint.
     # Traced cells never consult the cache: the trace is the record of
     # an actual run (see GridCell.trace_path).
     pending: list[int] = []
     fingerprints: list[str | None] = [None] * len(cells)
+    jobs_fp_memo: dict[int, tuple[object, str]] = {}
+
+    def _jobs_fp(cell: GridCell) -> str:
+        source = cell.workload_source()
+        pinned = jobs_fp_memo.get(id(source))
+        if pinned is None or pinned[0] is not source:
+            pinned = (source, cell.jobs_fingerprint())
+            jobs_fp_memo[id(source)] = pinned
+        return pinned[1]
+
     if cache is not None:
         quarantined_before = cache.corrupt
-        jobs_fp_memo: dict[int, str] = {}
         for i, cell in enumerate(cells):
             if cell.trace_path is not None:
                 pending.append(i)
                 continue
-            memo_key = id(cell.jobs)
-            if memo_key not in jobs_fp_memo:
-                jobs_fp_memo[memo_key] = fingerprint_jobs(cell.jobs)
-            fp = cell.fingerprint(jobs_fp_memo[memo_key])
+            fp = cell.fingerprint(_jobs_fp(cell))
             fingerprints[i] = fp
             hit = cache.get(fp)
             if hit is not None:
@@ -593,15 +666,48 @@ def run_grid(
         pending = list(range(len(cells)))
 
     n_workers = min(resolve_workers(workers), max(len(pending), 1))
-    if pending:
-        execution = _GridExecution(
-            cells, slots, fingerprints, cache, policy, outcome, simulate_fn
-        )
-        execution.queue.extend(pending)
-        if n_workers > 1 and len(pending) > 1:
-            execution.run_pool(n_workers)
-        else:
-            execution.run_serial()
+    pooled = n_workers > 1 and len(pending) > 1
+    use_shm = shm if shm is not None else pooled
+
+    # shared-memory conversion -- publish each distinct pending inline
+    # workload once, swap the cells over to refs.  Fingerprints are
+    # unchanged (a pipeline-less ref hashes to the inline jobs hash), so
+    # the cache entries probed above stay valid, as do warm caches
+    # written by inline or serial runs.  publish() returning None means
+    # shared memory is unavailable: that cell simply stays inline.
+    plane: WorkloadPlane | None = None
+    exec_cells: Sequence[GridCell] = cells
+    stats_before = decode_stats_snapshot()
+    try:
+        if use_shm and pending:
+            plane = WorkloadPlane()
+            converted = list(cells)
+            for i in pending:
+                cell = converted[i]
+                if cell.jobs is None:
+                    continue  # already a ref
+                ref = plane.publish(cell.jobs, jobs_fp=_jobs_fp(cell))
+                if ref is not None:
+                    converted[i] = replace(cell, jobs=None, jobs_ref=ref)
+            exec_cells = converted
+            outcome.counters.shm_segments += plane.segments
+
+        if pending:
+            execution = _GridExecution(
+                exec_cells, slots, fingerprints, cache, policy, outcome, simulate_fn
+            )
+            execution.queue.extend(pending)
+            if pooled:
+                execution.run_pool(n_workers)
+            else:
+                execution.run_serial()
+    finally:
+        if plane is not None:
+            plane.close()
+        attaches, decodes, _hits, fallbacks = decode_stats_snapshot()
+        outcome.counters.shm_attaches += attaches - stats_before[0]
+        outcome.counters.shm_decodes += decodes - stats_before[1]
+        outcome.counters.shm_fallbacks += fallbacks - stats_before[3]
 
     for cell, result in zip(cells, slots, strict=True):
         assert result is not None
@@ -667,6 +773,7 @@ def compare_schemes_parallel(
     trace_dir: str | Path | None = None,
     policy: GridPolicy | None = None,
     counters: GridCounters | None = None,
+    shm: bool | None = None,
 ) -> dict[str, SimulationResult]:
     """Parallel, cache-aware, fault-tolerant drop-in for :func:`compare_schemes`.
 
@@ -686,6 +793,12 @@ def compare_schemes_parallel(
     :func:`trace_files_for_keys`.  Tracing never changes schedules, so
     the returned results are identical either way; traced cells do
     bypass the result cache (a cache hit would leave no trace file).
+
+    *shm* is forwarded to the scheme grid (see :func:`run_grid`): by
+    default the shared workload is published to the shared-memory plane
+    whenever the schemes fan out over a pool, so the trace is pickled
+    zero times instead of once per scheme.  The baseline cell always
+    runs in-process and is never converted.
     """
     baseline: SimulationResult | None = None
     if any(s.needs_baseline for s in schemes):
@@ -727,7 +840,7 @@ def compare_schemes_parallel(
             )
         )
     return run_grid(
-        cells, workers=workers, cache=cache, policy=policy, counters=counters
+        cells, workers=workers, cache=cache, policy=policy, counters=counters, shm=shm
     ).results
 
 
@@ -909,6 +1022,7 @@ def replay_sharded(
     counters: GridCounters | None = None,
     provenance: Mapping[str, object] | None = None,
     trace_dir: str | Path | None = None,
+    shm: bool | None = None,
 ) -> ShardedReplayOutcome:
     """Replay one long (possibly streaming) workload through the grid executor.
 
@@ -934,7 +1048,9 @@ def replay_sharded(
     an eager in-memory replay of the same shards.
 
     *provenance* (typically ``{"pipeline": pipe.fingerprint(), "source":
-    log_name}``) is folded into every shard cell's cache key.
+    log_name}``) is folded into every shard cell's cache key.  *shm* is
+    forwarded to each batch's :func:`run_grid`, so a retried shard
+    re-pickles a ~200-byte ref instead of its whole window of jobs.
     """
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -949,6 +1065,7 @@ def replay_sharded(
             cache=cache,
             policy=policy,
             counters=outcome.counters,
+            shm=shm,
         )
         for result in grid.results.values():  # input order == shard order
             outcome.jobs.extend(result.jobs)

@@ -94,8 +94,11 @@ class GridCounters:
     the tracer -- these count *executor* events, which exist outside any
     single simulation) and surfaced on
     :attr:`repro.experiments.parallel.GridOutcome.counters` so summaries
-    can report what the fault-tolerance machinery actually did.  All
-    zeros -- the instance is falsy -- on an undisturbed run.
+    can report what the fault-tolerance machinery actually did.  The
+    instance is falsy on an undisturbed run: ``shm_segments`` /
+    ``shm_attaches`` / ``shm_decodes`` count *normal* workload-plane
+    activity and never make the tally truthy on their own, while
+    ``shm_fallbacks`` is a degradation signal and does.
     """
 
     #: cells resubmitted after a failed attempt (crash or timeout)
@@ -108,10 +111,27 @@ class GridCounters:
     degraded_cells: int = 0
     #: corrupt cache entries quarantined during the cache probe
     cache_quarantines: int = 0
+    #: shared-memory workload segments published for this grid
+    shm_segments: int = 0
+    #: segment attaches performed in the coordinator process (serial,
+    #: degraded and cache-probe paths; pool workers attach in their own
+    #: processes and are deliberately not aggregated here)
+    shm_attaches: int = 0
+    #: full segment decodes in the coordinator process (memo misses)
+    shm_decodes: int = 0
+    #: refs resolved from the local fallback registry after an attach
+    #: or integrity failure in the coordinator process
+    shm_fallbacks: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return asdict(self)
 
+    #: fields that describe normal operation rather than recovery --
+    #: they never make the tally truthy (``shm_fallbacks`` is recovery)
+    _ROUTINE_FIELDS = ("shm_segments", "shm_attaches", "shm_decodes")
+
     def __bool__(self) -> bool:
         """True when any recovery machinery fired."""
-        return any(asdict(self).values())
+        return any(
+            v for k, v in asdict(self).items() if k not in self._ROUTINE_FIELDS
+        )

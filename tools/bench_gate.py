@@ -9,10 +9,13 @@ process on one machine.  This script turns those measurements into a
 
 ``--write``
     Run the suite and write a schema-versioned baseline
-    (``BENCH_PR4.json`` at the repo root) recording per-bench
+    (``BENCH_PR9.json`` at the repo root) recording per-bench
     mean/stddev/rounds, end-to-end jobs/second, in-run speedup ratios,
-    and a machine-independent *trace fingerprint* (SHA-256 over the
-    schedule signature each bench workload produces).
+    a machine-independent *trace fingerprint* (SHA-256 over the
+    schedule signature each bench workload produces), the
+    streaming-vs-eager ingestion RSS comparison, and the
+    shared-memory dispatch bench (pickled bytes-per-cell, inline vs
+    ``jobs_ref``, on a 120k-job x 24-cell grid).
 
 ``--check``
     Run the suite fresh, write the report to ``--out`` (a CI artifact),
@@ -22,13 +25,16 @@ process on one machine.  This script turns those measurements into a
       changes any schedule is rejected outright, machine-independent;
     * the asserted speedup floors (SS vs the retained legacy kernel,
       >= 1.5x on both the SDSC-400 and congested traces) must hold;
+    * the dispatch payload reduction (inline bytes-per-cell over ref
+      bytes-per-cell) must stay >= 10x -- byte counts, so the floor is
+      machine-independent;
     * no bench may regress by more than ``--threshold`` (default 25%)
       in *normalised* time -- each mean is divided by the same run's
       event-queue bench, so a slower CI machine does not fail the gate
       but a slower kernel does.
 
 Absolute wall-clock numbers are recorded for the human reading the
-artifact; only normalised quantities and fingerprints gate.
+artifact; only normalised quantities, byte ratios and fingerprints gate.
 """
 
 from __future__ import annotations
@@ -38,11 +44,13 @@ import datetime as _dt
 import hashlib
 import json
 import os
+import pickle
 import platform
 import re
 import subprocess
 import sys
 import tempfile
+import time
 from pathlib import Path
 from typing import Any
 
@@ -92,6 +100,15 @@ JOBS_PER_ROUND = {
 #: jobs in the generated log the peak-RSS ingestion gate streams
 #: (the ISSUE's acceptance floor is >= 100k)
 INGESTION_LOG_JOBS = 120_000
+
+#: workload size / grid width of the shared-memory dispatch bench
+DISPATCH_JOBS = 120_000
+DISPATCH_CELLS = 24
+
+#: an inline cell's pickle must be at least this many times larger than
+#: a ``jobs_ref`` cell's -- the zero-copy plane's acceptance floor.
+#: Byte counts are deterministic, so this gate is machine-independent.
+DISPATCH_REDUCTION_MIN = 10.0
 
 #: the streaming reader's peak RSS may be at most this fraction of the
 #: eager reader's on the same log.  The eager path materialises every
@@ -189,6 +206,106 @@ def check_ingestion(ingestion: dict[str, Any]) -> list[str]:
             f"streaming peak RSS is {ingestion['rss_ratio']:.2f}x the eager "
             f"reader's (limit {INGESTION_RSS_RATIO_MAX}); the parser is no "
             "longer O(chunk) memory"
+        )
+    return problems
+
+
+def dispatch_report() -> dict[str, Any]:
+    """Measure dispatch payload: inline cells vs shared-memory refs.
+
+    Builds one deterministic 120k-job workload (plain arithmetic, no
+    RNG) and a 24-cell scheduler sweep over it, then compares what the
+    grid executor would actually ship to workers: ``pickle.dumps`` of
+    every inline cell vs every ``jobs_ref`` cell (after publishing the
+    workload once to a :class:`~repro.experiments.shm.WorkloadPlane`).
+    Wall-clock for both serialisation passes plus the one-time
+    worker-side decode is recorded for the human; only the byte ratio
+    gates.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.core.selective_suspension import SelectiveSuspensionScheduler
+    from repro.experiments.parallel import GridCell
+    from repro.experiments.shm import WorkloadPlane, resolve_jobs
+    from repro.workload.job import Job
+
+    jobs = [
+        Job(
+            job_id=i,
+            submit_time=float(i),
+            run_time=300.0 + (i % 977),
+            estimate=600.0 + (i % 977),
+            procs=1 + (i % 64),
+            memory_mb=float(i % 512),
+            user=i % 100,
+        )
+        for i in range(DISPATCH_JOBS)
+    ]
+    configs = [
+        SelectiveSuspensionScheduler(1.0 + 0.25 * k).config()
+        for k in range(DISPATCH_CELLS)
+    ]
+
+    t0 = time.perf_counter()
+    inline_blobs = [
+        pickle.dumps(
+            GridCell(key=f"inline{k}", jobs=jobs, n_procs=128, scheduler_config=cfg)
+        )
+        for k, cfg in enumerate(configs)
+    ]
+    inline_seconds = time.perf_counter() - t0
+
+    plane = WorkloadPlane()
+    try:
+        t0 = time.perf_counter()
+        ref = plane.publish(jobs)
+        if ref is None:
+            raise SystemExit("dispatch bench: shared memory unavailable")
+        publish_seconds = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        ref_blobs = [
+            pickle.dumps(
+                GridCell(key=f"ref{k}", jobs_ref=ref, n_procs=128, scheduler_config=cfg)
+            )
+            for k, cfg in enumerate(configs)
+        ]
+        ref_seconds = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        decoded = resolve_jobs(ref)  # cold: what one worker pays, once
+        decode_seconds = time.perf_counter() - t0
+        if len(decoded) != DISPATCH_JOBS:
+            raise SystemExit(
+                f"dispatch bench: decode returned {len(decoded)} jobs, "
+                f"expected {DISPATCH_JOBS}"
+            )
+    finally:
+        plane.close()
+
+    inline_bytes = sum(map(len, inline_blobs)) / DISPATCH_CELLS
+    ref_bytes = sum(map(len, ref_blobs)) / DISPATCH_CELLS
+    return {
+        "jobs": DISPATCH_JOBS,
+        "cells": DISPATCH_CELLS,
+        "inline_bytes_per_cell": inline_bytes,
+        "ref_bytes_per_cell": ref_bytes,
+        "payload_reduction": inline_bytes / ref_bytes,
+        "payload_reduction_min": DISPATCH_REDUCTION_MIN,
+        "inline_pickle_seconds": inline_seconds,
+        "publish_seconds": publish_seconds,
+        "ref_pickle_seconds": ref_seconds,
+        "decode_seconds": decode_seconds,
+    }
+
+
+def check_dispatch(dispatch: dict[str, Any]) -> list[str]:
+    """Gate violations of one :func:`dispatch_report` result (empty = pass)."""
+    problems: list[str] = []
+    reduction = dispatch.get("payload_reduction", 0.0)
+    if reduction < DISPATCH_REDUCTION_MIN:
+        problems.append(
+            f"dispatch payload reduction {reduction:.1f}x fell below the "
+            f"{DISPATCH_REDUCTION_MIN:.0f}x floor "
+            f"({dispatch.get('inline_bytes_per_cell', 0):,.0f} B inline vs "
+            f"{dispatch.get('ref_bytes_per_cell', 0):,.0f} B per ref cell)"
         )
     return problems
 
@@ -299,12 +416,15 @@ def build_report(raw: dict[str, Any]) -> dict[str, Any]:
         "platform": platform.platform(),
         "machine_dependent": ["benches", "jobs_per_second", "ingestion"],
         "machine_independent": ["normalised", "speedups", "trace_fingerprints"],
+        # dispatch wall-clocks are machine-dependent; its gating ratio
+        # (payload_reduction) is a byte count and machine-independent
         "benches": benches,
         "jobs_per_second": rates,
         "normalised": normalised,
         "speedups": speedups,
         "trace_fingerprints": trace_fingerprints(),
         "ingestion": ingestion_report(),
+        "dispatch": dispatch_report(),
     }
 
 
@@ -377,7 +497,7 @@ def main(argv: list[str] | None = None) -> int:
         "--out",
         type=Path,
         default=None,
-        help="report path (default: BENCH_PR4.json for --write, "
+        help="report path (default: BENCH_PR9.json for --write, "
         "bench_report.json for --check)",
     )
     parser.add_argument(
@@ -389,7 +509,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     out = args.out or (
-        REPO_ROOT / ("BENCH_PR4.json" if args.write else "bench_report.json")
+        REPO_ROOT / ("BENCH_PR9.json" if args.write else "bench_report.json")
     )
 
     raw = run_bench_suite()
@@ -407,10 +527,17 @@ def main(argv: list[str] | None = None) -> int:
         f"{ing['eager']['maxrss_kb'] / 1024:.0f} MB "
         f"(ratio {ing['rss_ratio']:.2f}, limit {INGESTION_RSS_RATIO_MAX})"
     )
+    dsp = report["dispatch"]
+    print(
+        f"  dispatch payload ({dsp['jobs']:,} jobs x {dsp['cells']} cells): "
+        f"{dsp['inline_bytes_per_cell'] / 1e6:.1f} MB inline vs "
+        f"{dsp['ref_bytes_per_cell']:.0f} B per ref cell "
+        f"({dsp['payload_reduction']:,.0f}x, floor {DISPATCH_REDUCTION_MIN:.0f}x)"
+    )
 
     if args.write:
-        # floors still apply when minting a baseline, and so does the
-        # streaming-memory bound
+        # floors still apply when minting a baseline, and so do the
+        # streaming-memory and dispatch-payload bounds
         bad = [
             f"speedup {label!r} = {report['speedups'].get(label, 0.0):.2f}x "
             f"below floor {floor:.1f}x"
@@ -418,6 +545,7 @@ def main(argv: list[str] | None = None) -> int:
             if report["speedups"].get(label, 0.0) < floor
         ]
         bad.extend(check_ingestion(report["ingestion"]))
+        bad.extend(check_dispatch(report["dispatch"]))
         if bad:
             print("bench_gate: FAIL", file=sys.stderr)
             for line in bad:
@@ -443,6 +571,7 @@ def main(argv: list[str] | None = None) -> int:
 
     problems = check_report(report, baseline, args.threshold)
     problems.extend(check_ingestion(report["ingestion"]))
+    problems.extend(check_dispatch(report["dispatch"]))
     if problems:
         print("bench_gate: FAIL", file=sys.stderr)
         for p in problems:

@@ -227,6 +227,47 @@ def check_bench_table(doc: Path, failures: list[Failure]) -> int:
     return len(rows)
 
 
+#: the dispatch-table row: `...(`payload_reduction`)... | **N,NNN×** |`
+DISPATCH_ROW_RE = re.compile(r"\(`payload_reduction`\)[^\n]*\*\*([\d,]+)×\*\*")
+
+
+def check_dispatch_table(doc: Path, failures: list[Failure]) -> int:
+    """EXPERIMENTS.md's dispatch table must quote BENCH_PR9.json exactly.
+
+    Same discipline as the kernel table: the payload-reduction factor
+    is a quotation of the committed dispatch-bench baseline, and quote
+    drift on either side fails the docs job.
+    """
+    rel = str(doc.relative_to(REPO_ROOT))
+    rows = DISPATCH_ROW_RE.findall(doc.read_text())
+    if not rows:
+        return 0
+    baseline_path = REPO_ROOT / "BENCH_PR9.json"
+    if not baseline_path.exists():
+        failures.append(
+            Failure(rel, "missing baseline", "table quotes BENCH_PR9.json")
+        )
+        return len(rows)
+    import json
+
+    dispatch = json.loads(baseline_path.read_text()).get("dispatch", {})
+    actual = dispatch.get("payload_reduction")
+    for quoted in rows:
+        if actual is None:
+            failures.append(
+                Failure(rel, "stale dispatch quote", "no dispatch bench in baseline")
+            )
+        elif f"{actual:,.0f}" != quoted:
+            failures.append(
+                Failure(
+                    rel,
+                    "stale dispatch quote",
+                    f"doc says {quoted}×, baseline says {actual:,.0f}×",
+                )
+            )
+    return len(rows)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -250,6 +291,7 @@ def main(argv: list[str] | None = None) -> int:
             continue
         n_links = check_links(doc, failures)
         n_quotes = check_bench_table(doc, failures)
+        n_quotes += check_dispatch_table(doc, failures)
         n_blocks = 0
         if not args.no_exec and name in EXECUTABLE_DOCS:
             n_blocks = check_blocks(doc, failures)

@@ -32,8 +32,9 @@ from typing import Iterable
 import pytest
 
 from repro.cluster.machine import AllocationError, Cluster
-from repro.core.priorities import suspension_priority
+from repro.core.priorities import PreemptionCriteria, suspension_priority
 from repro.core.selective_suspension import SelectiveSuspensionScheduler
+from repro.schedulers.base import Scheduler
 from repro.schedulers.easy import EasyBackfillScheduler
 from repro.schedulers.profiles import AvailabilityProfile, ProfileError
 from repro.sim.driver import SchedulingSimulation
@@ -220,10 +221,16 @@ class _RecomputingPriorities(dict):
         return suspension_priority(super().__getitem__(job_id), self._now)
 
 
-class LegacySweepScheduler(SelectiveSuspensionScheduler):
+class LegacySweepScheduler(Scheduler):
     """Reference SS with the full pre-optimisation sweep.
 
-    Benchmark-only: priorities recomputed per access, ``running_jobs()``
+    Benchmark-only and deliberately **self-contained** on the bare
+    :class:`Scheduler` interface: since the policy-kernel refactor the
+    production SS delegates its sweep to the composed
+    ``SweepPreemption`` engine, so subclass overrides of the old
+    ``sweep``/``_try_start`` internals would be dead code silently
+    benchmarking the optimised path.  Everything here is the legacy
+    implementation: priorities recomputed per access, ``running_jobs()``
     re-sorted inside every ``_try_start``, the pinned set rebuilt from
     the queue on every ``_place``, and all placement done on id sets.
     Pins down what the sweep-scoped snapshot/victim-list/pinned-mask
@@ -231,6 +238,43 @@ class LegacySweepScheduler(SelectiveSuspensionScheduler):
     scheduling decision (``test_kernel_equivalence_identical`` asserts
     the schedules match event for event).
     """
+
+    scheme_id = "ss"
+
+    def __init__(
+        self,
+        suspension_factor: float = 2.0,
+        preemption_interval: float = 60.0,
+        width_rule: bool = True,
+    ) -> None:
+        super().__init__()
+        self.criteria = PreemptionCriteria(
+            suspension_factor=suspension_factor, width_rule=width_rule
+        )
+        self.timer_interval = float(preemption_interval)
+        self.name = f"SS(SF={suspension_factor:g})"
+
+    def config(self) -> dict[str, object]:
+        return {
+            "scheme": self.scheme_id,
+            "suspension_factor": self.criteria.suspension_factor,
+            "preemption_interval": self.timer_interval,
+            "width_rule": self.criteria.width_rule,
+        }
+
+    def on_arrival(self, job: Job) -> None:
+        self.sweep(allow_suspension=False)
+
+    def on_finish(self, job: Job) -> None:
+        self.sweep(allow_suspension=False)
+
+    def on_timer(self) -> None:
+        self.sweep(allow_suspension=True)
+
+    def victim_preemptable(
+        self, victim: Job, now: float, priority: float | None = None
+    ) -> bool:
+        return True  # plain SS never protects a running job
 
     def sweep(self, allow_suspension: bool) -> None:
         driver = self.driver

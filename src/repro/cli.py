@@ -82,6 +82,7 @@ EXPERIMENTS: dict[str, tuple[Callable[..., paper.ExperimentOutput], bool]] = {
     "figs-19-30": (paper.estimate_impact, True),
     "figs-31-34": (paper.overhead_impact, True),
     "figs-35-44": (paper.load_variation, True),
+    "hybrids": (paper.hybrid_comparison, True),
 }
 
 
@@ -109,6 +110,14 @@ def _build_scheduler(args: argparse.Namespace) -> Scheduler:
         return SelectiveSuspensionScheduler(suspension_factor=args.sf)
     if kind == "tss":
         return TunableSelectiveSuspensionScheduler(suspension_factor=args.sf)
+    if kind == "ss-easy":
+        from repro.schedulers.hybrids import SuspensionWithHeadGuarantee
+
+        return SuspensionWithHeadGuarantee(suspension_factor=args.sf)
+    if kind in ("tss-cons", "tss-conservative"):
+        from repro.schedulers.hybrids import TunableSuspensionWithGuarantees
+
+        return TunableSuspensionWithGuarantees(suspension_factor=args.sf)
     if kind == "is":
         return ImmediateServiceScheduler()
     raise SystemExit(f"unknown scheduler {args.scheduler!r}")
@@ -234,7 +243,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--scheduler",
         default="ss",
-        help="fcfs | easy/ns | conservative | relaxed | speculative | gang | ss | tss | is",
+        help="fcfs | easy/ns | conservative | relaxed | speculative | gang | ss | tss | is | ss-easy | tss-conservative",
     )
     run.add_argument("--sf", type=float, default=2.0, help="suspension factor")
     run.add_argument(
@@ -288,7 +297,7 @@ def build_parser() -> argparse.ArgumentParser:
     rec.add_argument(
         "--scheduler",
         default="ss",
-        help="fcfs | easy/ns | conservative | relaxed | speculative | gang | ss | tss | is",
+        help="fcfs | easy/ns | conservative | relaxed | speculative | gang | ss | tss | is | ss-easy | tss-conservative",
     )
     rec.add_argument("--sf", type=float, default=2.0, help="suspension factor")
     rec.add_argument("--out", required=True, metavar="FILE", help="JSONL output path")
@@ -396,7 +405,7 @@ def build_parser() -> argparse.ArgumentParser:
     rpl.add_argument(
         "--scheduler",
         default="easy",
-        help="fcfs | easy/ns | conservative | relaxed | speculative | gang | ss | tss | is",
+        help="fcfs | easy/ns | conservative | relaxed | speculative | gang | ss | tss | is | ss-easy | tss-conservative",
     )
     rpl.add_argument("--sf", type=float, default=2.0, help="suspension factor")
     rpl.add_argument(

@@ -33,307 +33,54 @@ machine churns timeslices).
 
 from __future__ import annotations
 
-from typing import Any
-
-from repro.core.priorities import instantaneous_priority
-from repro.core.selective_suspension import primary_denial_cause
-from repro.obs.events import victim_verdict
-from repro.schedulers.base import Scheduler
-from repro.workload.job import Job
+from repro.schedulers.policy import (
+    InstantaneousPriorityOrder,
+    NoBackfill,
+    NoReservations,
+    PolicyKernel,
+    SchedulerSpec,
+    TimeslicePreemption,
+)
 
 #: The immediate-service timeslice (and protection window), seconds.
 DEFAULT_TIMESLICE = 600.0
 
 
-class ImmediateServiceScheduler(Scheduler):
-    """IS: immediate 10-minute timeslices, lowest-instantaneous-xfactor victims."""
+class ImmediateServiceScheduler(PolicyKernel):
+    """IS: immediate 10-minute timeslices, lowest-instantaneous-xfactor victims.
 
-    name = "IS"
+    Since the policy-kernel refactor the timeslice engine lives in
+    :class:`repro.schedulers.policy.TimeslicePreemption`; this class is
+    the composition (instantaneous-priority queue, no reservations, no
+    backfill -- service *is* the preemption engine) plus back-compat
+    accessors.
+    """
+
     scheme_id = "is"
-
-    def config(self) -> dict[str, object]:
-        return {
-            "scheme": self.scheme_id,
-            "timeslice": self.timeslice,
-            "sweep_interval": self.timer_interval,
-        }
 
     def __init__(
         self,
         timeslice: float = DEFAULT_TIMESLICE,
         sweep_interval: float = 60.0,
     ) -> None:
-        super().__init__()
-        if timeslice <= 0:
-            raise ValueError("timeslice must be positive")
-        self.timeslice = float(timeslice)
-        self.timer_interval = float(sweep_interval)
-        #: job_id -> end of its current protection window
-        self._protected_until: dict[int, float] = {}
-
-    # ------------------------------------------------------------------
-    # hooks
-    # ------------------------------------------------------------------
-    def on_begin(self) -> None:
-        self._protected_until.clear()
-
-    def on_arrival(self, job: Job) -> None:
-        if not self._grant_immediate_service(job):
-            # could not assemble processors even with preemption; the
-            # job waits and competes in subsequent sweeps
-            pass
-        self._sweep()
-
-    def on_finish(self, job: Job) -> None:
-        self._protected_until.pop(job.job_id, None)
-        self._sweep()
-
-    def on_timer(self) -> None:
-        self._sweep()
-
-    # ------------------------------------------------------------------
-    # mechanics
-    # ------------------------------------------------------------------
-    def _is_protected(self, job: Job) -> bool:
-        return self.now < self._protected_until.get(job.job_id, -float("inf"))
-
-    def _start(self, job: Job) -> None:
-        assert self.driver is not None
-        # The 10-minute timeslice is ten minutes of *service*: a resumed
-        # job first pays its suspend/restart overhead on the processors,
-        # so protection must cover overhead + timeslice.  Without this,
-        # a job whose per-cycle overhead exceeds the timeslice makes
-        # zero progress per cycle and two such jobs can suspend each
-        # other forever (observed livelock under the disk-swap model).
-        pending = job.pending_overhead
-        self.driver.start_job(job)
-        self._protected_until[job.job_id] = self.now + pending + self.timeslice
-
-    def _grant_immediate_service(self, job: Job) -> bool:
-        """Arrival path: start *job* now, preempting if necessary."""
-        driver = self.driver
-        assert driver is not None
-        if driver.cluster.can_allocate(job.procs):
-            self._start(job)
-            return True
-        victims = self._cheapest_victims(limit_priority=None)
-        freed = driver.cluster.free_count
-        chosen: list[Job] = []
-        for victim in victims:
-            if freed >= job.procs:
-                break
-            chosen.append(victim)
-            freed += len(victim.allocated_procs)
-        if freed < job.procs:
-            self._record_denial(job, limit_priority=None, path="arrival")
-            return False
-        self._record_grant(job, chosen, limit_priority=None, path="arrival")
-        for victim in chosen:
-            driver.suspend_job(victim, preemptor=job.job_id)
-            self._protected_until.pop(victim.job_id, None)
-        self._start(job)
-        return True
-
-    # ------------------------------------------------------------------
-    # decision records (trace-only; never consulted by the policy)
-    # ------------------------------------------------------------------
-    def _victim_verdicts(self, limit_priority: float | None) -> list[dict[str, Any]]:
-        """Per-running-job verdicts for a decision record.
-
-        ``protected`` -- inside its timeslice protection window;
-        ``priority`` -- instantaneous xfactor not strictly below the
-        waiter's (sweep/re-entry paths only); else ``candidate``.
-        """
-        driver = self.driver
-        assert driver is not None
-        now = driver.now
-        out: list[dict[str, Any]] = []
-        for r in sorted(driver.running_jobs(), key=lambda r: r.job_id):
-            p = instantaneous_priority(r, now)
-            if self._is_protected(r):
-                verdict = "protected"
-            elif limit_priority is not None and p >= limit_priority:
-                verdict = "priority"
-            else:
-                verdict = "candidate"
-            out.append(victim_verdict(r.job_id, p, len(r.allocated_procs), verdict))
-        return out
-
-    def _record_denial(
-        self, job: Job, limit_priority: float | None, path: str
-    ) -> None:
-        tracer = self.tracer
-        if tracer is None:
-            return
-        driver = self.driver
-        assert driver is not None
-        verdicts = self._victim_verdicts(limit_priority)
-        tracer.decision(
-            driver.now,
-            "preempt_denied",
-            job.job_id,
-            cause=primary_denial_cause(verdicts),
-            requested=job.procs,
-            free=driver.cluster.free_count,
-            path=path,
-            timeslice=self.timeslice,
-            victims=verdicts,
+        engine = TimeslicePreemption(
+            timeslice=timeslice, sweep_interval=sweep_interval
         )
-
-    def _record_grant(
-        self,
-        job: Job,
-        chosen: list[Job],
-        limit_priority: float | None,
-        path: str,
-    ) -> None:
-        tracer = self.tracer
-        if tracer is None:
-            return
-        driver = self.driver
-        assert driver is not None
-        tracer.decision(
-            driver.now,
-            "timeslice_grant",
-            job.job_id,
-            requested=job.procs,
-            free=driver.cluster.free_count,
-            path=path,
-            timeslice=self.timeslice,
-            suspended=[v.job_id for v in chosen],
-            victims=self._victim_verdicts(limit_priority),
-        )
-
-    def _cheapest_victims(self, limit_priority: float | None) -> list[Job]:
-        """Unprotected running jobs in ascending instantaneous xfactor.
-
-        If *limit_priority* is given, only victims strictly below it are
-        eligible (the waiting-job service path).
-        """
-        driver = self.driver
-        assert driver is not None
-        now = driver.now
-        out = [
-            r
-            for r in driver.running_jobs()
-            if not self._is_protected(r)
-            and (
-                limit_priority is None
-                or instantaneous_priority(r, now) < limit_priority
+        self._engine = engine
+        super().__init__(
+            SchedulerSpec(
+                scheme_id="is",
+                display_name="IS",
+                queue=InstantaneousPriorityOrder(),
+                reservation=NoReservations(),
+                backfill=NoBackfill(),
+                preemption=engine,
             )
-        ]
-        out.sort(key=lambda r: (instantaneous_priority(r, now), r.job_id))
-        return out
-
-    def _sweep(self) -> None:
-        """Serve waiting jobs: free processors first, then preemption."""
-        driver = self.driver
-        assert driver is not None
-        now = driver.now
-        waiting = sorted(
-            driver.queued_jobs(),
-            key=lambda j: (-instantaneous_priority(j, now), j.submit_time, j.job_id),
         )
-        for job in waiting:
-            if job.needs_specific_procs:
-                self._serve_reentry(job)
-            else:
-                self._serve_fresh(job)
 
-    def _serve_fresh(self, job: Job) -> bool:
-        driver = self.driver
-        assert driver is not None
-        if driver.cluster.can_allocate(job.procs):
-            self._start(job)
-            return True
-        my_priority = instantaneous_priority(job, driver.now)
-        victims = self._cheapest_victims(limit_priority=my_priority)
-        freed = driver.cluster.free_count
-        chosen: list[Job] = []
-        for victim in victims:
-            if freed >= job.procs:
-                break
-            chosen.append(victim)
-            freed += len(victim.allocated_procs)
-        if freed < job.procs:
-            self._record_denial(job, limit_priority=my_priority, path="sweep")
-            return False
-        self._record_grant(job, chosen, limit_priority=my_priority, path="sweep")
-        for victim in chosen:
-            driver.suspend_job(victim, preemptor=job.job_id)
-            self._protected_until.pop(victim.job_id, None)
-        self._start(job)
-        return True
-
-    def _serve_reentry(self, job: Job) -> bool:
-        driver = self.driver
-        assert driver is not None
-        needed = job.suspended_procs
-        if driver.cluster.can_allocate_specific(needed):
-            self._start(job)
-            return True
-        now = driver.now
-        tracer = self.tracer
-        my_priority = instantaneous_priority(job, now)
-        owner_ids = driver.cluster.owners_overlapping(needed)
-        owners = [r for r in driver.running_jobs() if r.job_id in owner_ids]
-        # One protected or higher-priority squatter blocks the resume.
-        # When tracing, classify every owner so the decision record is
-        # complete (the checks are pure; scheduling is unchanged).
-        verdicts: list[dict[str, Any]] | None = [] if tracer is not None else None
-        blocking: str | None = None
-        for victim in sorted(owners, key=lambda o: o.job_id):
-            p = instantaneous_priority(victim, now)
-            if self._is_protected(victim):
-                cause = "protected"
-            elif p >= my_priority:
-                cause = "priority"
-            else:
-                cause = None
-            if verdicts is not None:
-                verdicts.append(
-                    victim_verdict(
-                        victim.job_id,
-                        p,
-                        len(victim.allocated_procs),
-                        cause or "candidate",
-                    )
-                )
-            if cause is not None:
-                blocking = blocking or cause
-                if verdicts is None:
-                    break  # untraced: first blocker settles it
-        if blocking is not None:
-            if tracer is not None:
-                tracer.decision(
-                    now,
-                    "preempt_denied",
-                    job.job_id,
-                    cause=blocking,
-                    requested=job.procs,
-                    path="reentry",
-                    timeslice=self.timeslice,
-                    victims=verdicts,
-                )
-            return False
-        if tracer is not None:
-            tracer.decision(
-                now,
-                "timeslice_grant",
-                job.job_id,
-                requested=job.procs,
-                path="reentry",
-                timeslice=self.timeslice,
-                suspended=sorted(o.job_id for o in owners),
-                victims=verdicts,
-            )
-        for victim in sorted(owners, key=lambda o: o.job_id):
-            driver.suspend_job(victim, preemptor=job.job_id)
-            self._protected_until.pop(victim.job_id, None)
-        if driver.cluster.can_allocate_specific(needed):
-            self._start(job)
-            return True
-        return False  # pragma: no cover - owners covered all of `needed`
+    @property
+    def timeslice(self) -> float:
+        return self._engine.timeslice
 
     def describe(self) -> str:
         return f"IS, timeslice {self.timeslice:g}s"

@@ -25,51 +25,38 @@ Policy summary
   rule is waived here, otherwise a narrow squatter could pin a wide job
   forever (section IV-C, ``suspend_jobs_2``).
 
-The TSS refinement (per-category preemption limits) plugs in through
-:meth:`SelectiveSuspensionScheduler.victim_preemptable`, which TSS
-overrides.
+Since the policy-kernel refactor the sweep engine itself lives in
+:class:`repro.schedulers.policy.SweepPreemption`; this module keeps the
+scheme class as a declarative composition (suspension-priority queue,
+no reservations, greedy fills, sweep preemption) plus the back-compat
+accessors (`criteria`, `sweep`, `_place`, `_pinned_procs`) that tests
+and benchmarks use.  The TSS refinement (per-category preemption
+limits) is the same composition with a ``limits`` table.
 """
 
 from __future__ import annotations
 
-from bisect import insort
-from typing import Any
-
-from repro.cluster.bitset import iter_bits, mask_from_ids, take_lowest
-from repro.core.priorities import PreemptionCriteria, suspension_priority
-from repro.obs.events import victim_verdict
-from repro.schedulers.base import Scheduler
+from repro.core.priorities import PreemptionCriteria
+from repro.schedulers.policy import (
+    _CAUSE_PREFERENCE,
+    GreedyBackfill,
+    NoReservations,
+    PolicyKernel,
+    SchedulerSpec,
+    SuspensionPriorityOrder,
+    SweepPreemption,
+    primary_denial_cause,
+)
 from repro.workload.job import Job
 
-#: Tie-break order when several rejection causes block one decision.
-_CAUSE_PREFERENCE = {
-    "sf_threshold": 0,
-    "category_limit": 1,
-    "width_rule": 2,
-    "protected": 3,
-    "priority": 4,
-}
+__all__ = [
+    "SelectiveSuspensionScheduler",
+    "primary_denial_cause",
+    "_CAUSE_PREFERENCE",
+]
 
 
-def primary_denial_cause(verdicts: list[dict[str, Any]] | None) -> str:
-    """The headline ``cause`` of a denied preemption decision.
-
-    The most frequent non-``candidate`` verdict wins (ties broken by a
-    fixed preference order); an empty or all-candidate list means the
-    eligible victims simply did not cover the request --
-    ``"insufficient"``.
-    """
-    counts: dict[str, int] = {}
-    for v in verdicts or ():
-        cause = v["verdict"]
-        if cause != "candidate":
-            counts[cause] = counts.get(cause, 0) + 1
-    if not counts:
-        return "insufficient"
-    return min(counts, key=lambda c: (-counts[c], _CAUSE_PREFERENCE.get(c, 99)))
-
-
-class SelectiveSuspensionScheduler(Scheduler):
+class SelectiveSuspensionScheduler(PolicyKernel):
     """SS: xfactor-thresholded preemptive backfilling (section IV).
 
     Parameters
@@ -91,471 +78,46 @@ class SelectiveSuspensionScheduler(Scheduler):
         preemption_interval: float = 60.0,
         width_rule: bool = True,
     ) -> None:
-        super().__init__()
-        if preemption_interval <= 0:
-            raise ValueError("preemption interval must be positive")
-        self.criteria = PreemptionCriteria(
-            suspension_factor=suspension_factor, width_rule=width_rule
+        engine = SweepPreemption(
+            PreemptionCriteria(
+                suspension_factor=suspension_factor, width_rule=width_rule
+            ),
+            preemption_interval=preemption_interval,
         )
-        self.timer_interval = float(preemption_interval)
-        self.name = f"SS(SF={suspension_factor:g})"
-        # -- sweep-scoped scratch state ---------------------------------
-        # Valid only while sweep() is on the stack; see sweep() for the
-        # invalidation protocol.  Buffers are instance-level so repeated
-        # sweeps reuse the same allocations instead of rebuilding them
-        # per idle job (the old quadratic term in congested queues).
-        self._sweep_active = False
-        self._sweep_suspension = False
-        #: mask of processors some suspended job must reacquire; kept
-        #: current across mid-sweep suspends (|=) and resumes (&= ~)
-        self._sweep_pinned = 0
-        #: running victims as (priority, job_id, Job), ascending -- built
-        #: once per suspension sweep, extended by insort on mid-sweep
-        #: starts, lazily invalidated through _sweep_dead on suspends
-        self._sweep_victims: list[tuple[float, int, Job]] = []
-        #: job ids suspended mid-sweep (membership tests only)
-        self._sweep_dead: set[int] = set()
-        self._scratch_candidates: list[Job] = []
-        self._scratch_chosen: list[Job] = []
+        self._engine = engine
+        super().__init__(self._make_spec(suspension_factor, engine))
+
+    def _make_spec(
+        self, suspension_factor: float, engine: SweepPreemption
+    ) -> SchedulerSpec:
+        """The SS composition (TSS overrides the id/name, reuses the rest)."""
+        return SchedulerSpec(
+            scheme_id="ss",
+            display_name=f"SS(SF={suspension_factor:g})",
+            queue=SuspensionPriorityOrder(),
+            reservation=NoReservations(),
+            backfill=GreedyBackfill(),
+            preemption=engine,
+        )
 
     # ------------------------------------------------------------------
-    # hooks
+    # back-compat accessors (tests, benches, calibration helpers)
     # ------------------------------------------------------------------
-    def on_arrival(self, job: Job) -> None:
-        self.sweep(allow_suspension=False)
+    @property
+    def criteria(self) -> PreemptionCriteria:
+        return self._engine.criteria
 
-    def on_finish(self, job: Job) -> None:
-        self.sweep(allow_suspension=False)
-
-    def on_timer(self) -> None:
-        self.sweep(allow_suspension=True)
-
-    # ------------------------------------------------------------------
-    # the sweep
-    # ------------------------------------------------------------------
     def sweep(self, allow_suspension: bool) -> None:
-        """One pass over the idle queue in descending suspension priority.
-
-        With ``allow_suspension=False`` this is plain greedy backfilling
-        onto free processors (what arrivals and completions trigger);
-        with ``True`` it is the full periodic preemption routine.
-
-        Priorities are computed **once per sweep** into ``priorities``
-        (job_id -> xfactor at *now*) and threaded through
-        :meth:`_try_start` / :meth:`_try_resume`.  This is safe because
-        the xfactor is an exact integral over past state intervals: a
-        job suspended or started *at* ``now`` has the same xfactor
-        before and after the transition, so mid-sweep state changes
-        cannot invalidate the snapshot.  The naive form recomputed
-        ``suspension_priority`` O(queue x running) times per sweep
-        inside sort keys and per-victim filters -- the dominant cost of
-        congested simulations (see ``benchmarks/bench_micro.py``).
-
-        Two more sweep-scoped structures extend the same idea to the
-        remaining quadratic terms.  The **victim list** is sorted once
-        per suspension sweep (ascending ``(priority, job_id)``, the
-        per-victim walk order) instead of re-sorting ``running_jobs()``
-        inside every :meth:`_try_start`; jobs started mid-sweep are
-        insort-ed in, jobs suspended mid-sweep are lazily skipped via a
-        dead set -- both preserve the exact order the per-call sort
-        produced, because ``(priority, job_id)`` is a total order over
-        an identical membership.  The **pinned mask** (processors
-        suspended jobs must reacquire) is snapshotted at sweep entry and
-        updated incrementally: a suspend pins the victim's processors,
-        a resume unpins the job's -- the only two events that can change
-        it mid-sweep -- replacing the per-:meth:`_place` rescan of the
-        whole queue.
-        """
-        driver = self.driver
-        assert driver is not None
-        if not allow_suspension and not driver.cluster.free_mask:
-            # Decision-equivalent fast path: without suspension, every
-            # start (can_allocate) and resume (can_allocate_mask on a
-            # nonempty set) needs at least one free processor, and a
-            # no-suspension sweep has no other observable effect -- the
-            # full walk would deny every job and emit nothing.
-            return
-        queued = driver.queued_jobs()
-        if not queued:
-            # Nothing to start or resume: the idle walk is empty and a
-            # sweep has no other observable effect.  Most timer sweeps
-            # on moderately loaded traces hit this, so skipping the
-            # victim-list build and priority snapshot here is the
-            # cheapest win in the whole kernel.
-            return
-        now = driver.now
-        priorities = {j.job_id: suspension_priority(j, now) for j in queued}
-        victims = self._sweep_victims
-        victims.clear()
-        self._sweep_dead.clear()
-        if allow_suspension:
-            # victims come from the running set; a job started earlier in
-            # this sweep was queued at sweep start and is already present
-            for r in driver.running_jobs():
-                p = suspension_priority(r, now)
-                priorities[r.job_id] = p
-                victims.append((p, r.job_id, r))
-            victims.sort()
-        pinned = 0
-        for j in queued:
-            pinned |= j.suspended_mask  # 0 unless awaiting local resume
-        self._sweep_pinned = pinned
-        self._sweep_suspension = allow_suspension
-        self._sweep_active = True
-        try:
-            idle = sorted(
-                queued,
-                key=lambda j: (-priorities[j.job_id], j.submit_time, j.job_id),
-            )
-            for job in idle:
-                if not allow_suspension and not driver.cluster.free_mask:
-                    break  # same argument as above, mid-sweep
-                if job.needs_specific_procs:
-                    self._try_resume(job, allow_suspension, priorities)
-                else:
-                    self._try_start(job, allow_suspension, priorities)
-        finally:
-            self._sweep_active = False
-            victims.clear()
-            self._sweep_dead.clear()
-
-    # ------------------------------------------------------------------
-    # sweep-scoped bookkeeping
-    # ------------------------------------------------------------------
-    def _note_started(self, job: Job, priorities: dict[int, float]) -> None:
-        """A queued job entered running mid-sweep: it is now a potential
-        victim for later idle jobs, exactly as the old per-call re-sort
-        would have picked it up."""
-        if self._sweep_active and self._sweep_suspension:
-            insort(self._sweep_victims, (priorities[job.job_id], job.job_id, job))
-
-    def _note_resumed(
-        self, job: Job, needed_mask: int, priorities: dict[int, float]
-    ) -> None:
-        """A suspended job resumed mid-sweep: its processors unpin."""
-        if self._sweep_active:
-            self._sweep_pinned &= ~needed_mask
-            self._note_started(job, priorities)
-
-    def _note_suspended(self, victim: Job, released_mask: int) -> None:
-        """A running job was suspended mid-sweep: its processors pin and
-        it leaves the victim list (lazily, via the dead set)."""
-        if self._sweep_active:
-            self._sweep_pinned |= released_mask
-            self._sweep_dead.add(victim.job_id)
-
-    # ------------------------------------------------------------------
-    # fresh starts (pseudocode path suspend_jobs_1)
-    # ------------------------------------------------------------------
-    def _pinned_mask(self) -> int:
-        """Mask of processors some suspended job must reacquire to resume.
-
-        Recomputed from the queue; during a sweep the maintained
-        ``_sweep_pinned`` snapshot is used instead (same value, O(1)).
-        """
-        driver = self.driver
-        assert driver is not None
-        pinned = 0
-        for j in driver.queued_jobs():
-            pinned |= j.suspended_mask  # 0 unless awaiting local resume
-        return pinned
-
-    def _pinned_procs(self) -> set[int]:
-        """Processors some suspended job must reacquire to resume."""
-        return set(iter_bits(self._pinned_mask()))
+        self._engine.sweep(allow_suspension)
 
     def _place(self, job: Job, preferred: frozenset[int] = frozenset()) -> frozenset[int]:
-        """Choose processors for a fresh start (id-set facade over
-        :meth:`_place_mask`, kept for tests and subclasses)."""
-        return frozenset(iter_bits(self._place_mask(job, mask_from_ids(preferred))))
+        return self._engine._place(job, preferred)
 
-    def _place_mask(self, job: Job, preferred_mask: int = 0) -> int:
-        """Choose processors for a fresh start.
-
-        Priority order: (1) *preferred_mask* (the just-suspended victims'
-        processors, per the pseudocode's ``available_processor_set`` --
-        so a victim unpins the moment its preemptor finishes), (2) free
-        processors no suspended job is waiting for, (3) the rest.
-        Skipping pinned processors where possible keeps suspended jobs'
-        resume sets clear, which is what lets SS hold NS-level
-        utilisation under load.
-
-        Each tier takes the lowest free ids it can -- identical choices
-        to the old ``sorted(tier)[:remaining]`` on id sets, because the
-        lowest set bits of a mask *are* the sorted prefix.
-        """
-        driver = self.driver
-        assert driver is not None
-        free = driver.cluster.free_mask
-        pinned = self._sweep_pinned if self._sweep_active else self._pinned_mask()
-        chosen = take_lowest(preferred_mask & free, job.procs)
-        n = chosen.bit_count()
-        if n < job.procs:
-            chosen |= take_lowest(free & ~chosen & ~pinned, job.procs - n)
-            n = chosen.bit_count()
-        if n < job.procs:
-            chosen |= take_lowest(free & ~chosen, job.procs - n)
-        return chosen
-
-    def _try_start(
-        self, job: Job, allow_suspension: bool, priorities: dict[int, float]
-    ) -> bool:
-        driver = self.driver
-        assert driver is not None
-        if driver.cluster.can_allocate(job.procs):
-            driver.start_job(job, procs=self._place(job))
-            self._note_started(job, priorities)
-            return True
-        if not allow_suspension:
-            return False
-
-        now = driver.now
-        tracer = driver.tracer
-        idle_priority = priorities[job.job_id]
-        free = driver.cluster.free_count
-        candidates = self._scratch_candidates
-        candidates.clear()
-        #: per-victim verdicts, built only when tracing is on (decision
-        #: records are the one place per-victim reasoning is preserved)
-        verdicts: list[dict[str, Any]] | None = [] if tracer is not None else None
-        covered = free  # free + candidate processors
-        dead = self._sweep_dead
-        # Victims in ascending priority: cheapest (least entitled) first.
-        # The sweep-sorted list replaces the old per-call
-        # ``sorted(driver.running_jobs(), key=(priority, job_id))``:
-        # same membership (insort on mid-sweep starts, dead set on
-        # mid-sweep suspends), same total order.
-        for victim_priority, victim_id, victim in self._sweep_victims:
-            if covered >= job.procs:
-                break
-            if victim_id in dead:
-                continue
-            width = len(victim.allocated_procs)
-            if not self.victim_preemptable(victim, now, victim_priority):
-                if verdicts is not None:
-                    verdicts.append(
-                        victim_verdict(
-                            victim.job_id,
-                            victim_priority,
-                            width,
-                            "category_limit",
-                            self.victim_protection_limit(victim),
-                        )
-                    )
-                continue
-            if not self.criteria.priority_allows(idle_priority, victim_priority):
-                if verdicts is not None:
-                    verdicts.append(
-                        victim_verdict(
-                            victim.job_id, victim_priority, width, "sf_threshold"
-                        )
-                    )
-                continue
-            if not self.criteria.width_allows(job.procs, width, reentry=False):
-                if verdicts is not None:
-                    verdicts.append(
-                        victim_verdict(
-                            victim.job_id, victim_priority, width, "width_rule"
-                        )
-                    )
-                continue
-            candidates.append(victim)
-            if verdicts is not None:
-                verdicts.append(
-                    victim_verdict(victim.job_id, victim_priority, width, "candidate")
-                )
-            covered += len(victim.allocated_procs)
-
-        if covered < job.procs:
-            if tracer is not None:
-                tracer.decision(
-                    now,
-                    "preempt_denied",
-                    job.job_id,
-                    cause=primary_denial_cause(verdicts),
-                    xfactor=idle_priority,
-                    sf=self.criteria.suspension_factor,
-                    requested=job.procs,
-                    free=free,
-                    reentry=False,
-                    victims=verdicts,
-                )
-            return False
-
-        # Suspend the widest candidates first, stopping once the request
-        # is covered (the paper sorts the candidate set in descending
-        # processor count so the fewest jobs are disturbed).  The chosen
-        # set is fixed *before* any suspension -- free_count only changes
-        # through our own suspends, so precomputing it is equivalent and
-        # lets the decision record precede the suspend events it causes.
-        chosen = self._scratch_chosen
-        chosen.clear()
-        covered_free = free
-        for victim in sorted(
-            candidates, key=lambda c: (-len(c.allocated_procs), c.job_id)
-        ):
-            if covered_free >= job.procs:
-                break
-            chosen.append(victim)
-            covered_free += len(victim.allocated_procs)
-        if tracer is not None:
-            tracer.decision(
-                now,
-                "preempt",
-                job.job_id,
-                xfactor=idle_priority,
-                sf=self.criteria.suspension_factor,
-                requested=job.procs,
-                free=free,
-                reentry=False,
-                suspended=[v.job_id for v in chosen],
-                victims=verdicts,
-            )
-        freed_mask = 0
-        for victim in chosen:
-            released = driver.cluster.owner_mask(victim.job_id)
-            freed_mask |= released
-            driver.suspend_job(victim, preemptor=job.job_id)
-            self._note_suspended(victim, released)
-        # run the preemptor on its victims' processors (the pseudocode's
-        # available_processor_set) so each victim's resume set clears
-        # when the preemptor finishes
-        placed = self._place_mask(job, preferred_mask=freed_mask)
-        driver.start_job(job, procs=frozenset(iter_bits(placed)))
-        self._note_started(job, priorities)
-        return True
-
-    # ------------------------------------------------------------------
-    # re-entry of suspended jobs (pseudocode path suspend_jobs_2)
-    # ------------------------------------------------------------------
-    def _try_resume(
-        self, job: Job, allow_suspension: bool, priorities: dict[int, float]
-    ) -> bool:
-        driver = self.driver
-        assert driver is not None
-        needed_mask = job.suspended_mask  # cached at suspension time
-        if driver.cluster.can_allocate_mask(needed_mask):
-            driver.start_job(job)
-            self._note_resumed(job, needed_mask, priorities)
-            return True
-        if not allow_suspension:
-            return False
-
-        now = driver.now
-        tracer = driver.tracer
-        idle_priority = priorities[job.job_id]
-        # sorted for determinism: both the verdict-list order and the
-        # reported primary blocking cause must reproduce run to run
-        # (traces are byte-identical for identical inputs --
-        # docs/TRACING.md), so the order is pinned to job ids rather
-        # than to whatever order the owners are discovered in.
-        owners: list[Job] = []
-        for owner_id in sorted(driver.cluster.owners_in_mask(needed_mask)):
-            owner = driver.running_job(owner_id)
-            if owner is None:  # pragma: no cover - defensive
-                return False
-            owners.append(owner)
-        # Every squatter must clear the SF threshold (no width rule on
-        # re-entry); one protected occupant blocks the whole resume.
-        # When tracing, keep walking past the first blocker so the
-        # decision record carries *every* owner's verdict (the extra
-        # checks are pure -- no scheduling effect).
-        verdicts: list[dict[str, Any]] | None = [] if tracer is not None else None
-        blocking: str | None = None
-        for victim in owners:
-            victim_priority = priorities[victim.job_id]
-            if not self.victim_preemptable(victim, now, victim_priority):
-                cause = "category_limit"
-            elif not self.criteria.priority_allows(idle_priority, victim_priority):
-                cause = "sf_threshold"
-            else:
-                cause = None
-            if verdicts is not None:
-                verdicts.append(
-                    victim_verdict(
-                        victim.job_id,
-                        victim_priority,
-                        len(victim.allocated_procs),
-                        cause or "candidate",
-                        self.victim_protection_limit(victim)
-                        if cause == "category_limit"
-                        else None,
-                    )
-                )
-            if cause is not None:
-                blocking = blocking or cause
-                if verdicts is None:
-                    break  # untraced: first blocker settles it
-        if blocking is not None:
-            if tracer is not None:
-                tracer.decision(
-                    now,
-                    "preempt_denied",
-                    job.job_id,
-                    cause=blocking,
-                    xfactor=idle_priority,
-                    sf=self.criteria.suspension_factor,
-                    requested=job.procs,
-                    reentry=True,
-                    victims=verdicts,
-                )
-            return False
-        if tracer is not None:
-            tracer.decision(
-                now,
-                "preempt",
-                job.job_id,
-                xfactor=idle_priority,
-                sf=self.criteria.suspension_factor,
-                requested=job.procs,
-                reentry=True,
-                suspended=sorted(o.job_id for o in owners),
-                victims=verdicts,
-            )
-        for victim in owners:  # already ascending by job id
-            released = driver.cluster.owner_mask(victim.job_id)
-            driver.suspend_job(victim, preemptor=job.job_id)
-            self._note_suspended(victim, released)
-        if driver.cluster.can_allocate_mask(needed_mask):
-            driver.start_job(job)
-            self._note_resumed(job, needed_mask, priorities)
-            return True
-        return False  # pragma: no cover - owners covered all of `needed`
-
-    # ------------------------------------------------------------------
-    # TSS extension point
-    # ------------------------------------------------------------------
-    def victim_preemptable(
-        self, victim: Job, now: float, priority: float | None = None
-    ) -> bool:
-        """Whether policy allows suspending *victim* at all.
-
-        Plain SS never protects a running job; TSS overrides this with
-        the per-category limit test.  *priority* carries the victim's
-        sweep-precomputed xfactor so overrides need not recompute it.
-        """
-        return True
-
-    def victim_protection_limit(self, victim: Job) -> float | None:
-        """The xfactor ceiling protecting *victim*, for decision records.
-
-        ``None`` for plain SS (no protection exists); TSS returns the
-        victim's category limit so ``category_limit`` verdicts carry the
-        threshold that was hit.  Trace-only -- never consulted on the
-        scheduling path.
-        """
-        return None
+    def _pinned_procs(self) -> set[int]:
+        return self._engine._pinned_procs()
 
     def describe(self) -> str:
         return (
             f"{self.name}, sweep every {self.timer_interval:g}s, "
             f"width rule {'on' if self.criteria.width_rule else 'off'}"
         )
-
-    def config(self) -> dict[str, object]:
-        return {
-            "scheme": self.scheme_id,
-            "suspension_factor": self.criteria.suspension_factor,
-            "preemption_interval": self.timer_interval,
-            "width_rule": self.criteria.width_rule,
-        }

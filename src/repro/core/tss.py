@@ -27,8 +27,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.priorities import PreemptionCriteria
 from repro.core.selective_suspension import SelectiveSuspensionScheduler
 from repro.metrics.slowdown import bounded_slowdown
+from repro.schedulers.policy import (
+    GreedyBackfill,
+    NoReservations,
+    PolicyKernel,
+    SchedulerSpec,
+    SuspensionPriorityOrder,
+    SweepPreemption,
+)
 from repro.sim.driver import SimulationResult
 from repro.workload.categories import SixteenWayCategory, classify_sixteen_way
 from repro.workload.job import Job
@@ -136,7 +145,14 @@ def limits_from_result(
 
 
 class TunableSelectiveSuspensionScheduler(SelectiveSuspensionScheduler):
-    """TSS: SS plus per-category preemption limits (section IV-E)."""
+    """TSS: SS plus per-category preemption limits (section IV-E).
+
+    The same composition as SS, with the sweep engine's ``limits``
+    parameter carrying the category table -- what used to be the
+    ``victim_preemptable`` subclass override.  :class:`CategoryLimits`
+    satisfies the :class:`repro.schedulers.policy.PreemptionLimits`
+    protocol structurally.
+    """
 
     scheme_id = "tss"
 
@@ -147,38 +163,30 @@ class TunableSelectiveSuspensionScheduler(SelectiveSuspensionScheduler):
         preemption_interval: float = 60.0,
         width_rule: bool = True,
     ) -> None:
-        super().__init__(
-            suspension_factor=suspension_factor,
+        limits = limits if limits is not None else CategoryLimits(online=True)
+        mode = "online" if limits.online else "calibrated"
+        engine = SweepPreemption(
+            PreemptionCriteria(
+                suspension_factor=suspension_factor, width_rule=width_rule
+            ),
             preemption_interval=preemption_interval,
-            width_rule=width_rule,
+            limits=limits,
         )
-        self.limits = limits if limits is not None else CategoryLimits(online=True)
-        mode = "online" if self.limits.online else "calibrated"
-        self.name = f"TSS(SF={suspension_factor:g},{mode})"
+        self._engine = engine
+        PolicyKernel.__init__(
+            self,
+            SchedulerSpec(
+                scheme_id="tss",
+                display_name=f"TSS(SF={suspension_factor:g},{mode})",
+                queue=SuspensionPriorityOrder(),
+                reservation=NoReservations(),
+                backfill=GreedyBackfill(),
+                preemption=engine,
+            ),
+        )
 
-    def config(self) -> dict[str, object]:
-        cfg = super().config()
-        cfg["limits"] = self.limits.to_config()
-        return cfg
-
-    def victim_preemptable(
-        self, victim: Job, now: float, priority: float | None = None
-    ) -> bool:
-        """Protect victims whose xfactor exceeds their category limit.
-
-        *priority* lets the sweep pass the victim's already-computed
-        xfactor (it is constant at a fixed *now*), avoiding a recompute
-        per (idle, victim) pair.
-        """
-        if priority is None:
-            priority = victim.xfactor(now)
-        return priority <= self.limits.limit_for(victim)
-
-    def victim_protection_limit(self, victim: Job) -> float | None:
-        """The victim's category limit, attached to decision records."""
-        limit = self.limits.limit_for(victim)
-        return None if limit == float("inf") else limit
-
-    def on_finish(self, job: Job) -> None:
-        self.limits.observe(job)
-        super().on_finish(job)
+    @property
+    def limits(self) -> CategoryLimits:
+        limits = self._engine.limits
+        assert isinstance(limits, CategoryLimits)
+        return limits

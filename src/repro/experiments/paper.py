@@ -31,6 +31,7 @@ from repro.experiments.parallel import (
     run_grid,
 )
 from repro.experiments.runner import (
+    hybrid_schemes,
     simulate,
     standard_schemes,
     tuned_schemes,
@@ -265,6 +266,67 @@ def ss_average_metrics(
     return ExperimentOutput(
         exp_id="figs-7-10",
         title="SS average metrics vs NS and IS",
+        trace=trace,
+        data=data,
+        report=report,
+        results=results,
+    )
+
+
+# ----------------------------------------------------------------------
+# Hybrid guarantee + preemption schemes (beyond the paper; DESIGN.md §12)
+# ----------------------------------------------------------------------
+def hybrid_comparison(
+    trace: str = "CTC",
+    n_jobs: int = DEFAULT_N_JOBS,
+    seed: int = DEFAULT_SEED,
+    workers: int | None = None,
+    cache: ResultCache | None = None,
+    policy: GridPolicy | None = None,
+    shm: bool | None = None,
+) -> ExperimentOutput:
+    """Hybrids vs their parents: SS, SS+EASY, TSS+CONS, NS.
+
+    An extension experiment (no paper figure): the policy kernel's
+    guarantee + preemption cross products next to the pure schemes they
+    compose, answering what the reservation layer costs SS and what the
+    sweep buys CONS-style guarantees.  ``data`` mirrors
+    :func:`ss_average_metrics`: ``"slowdown"``/``"turnaround"`` ->
+    scheme -> category -> mean.
+    """
+    preset = get_preset(trace)
+    jobs = _trace(trace, n_jobs, seed)
+    results = compare_schemes_parallel(
+        jobs,
+        preset.n_procs,
+        hybrid_schemes(),
+        workers=workers,
+        cache=cache,
+        policy=policy,
+        shm=shm,
+    )
+    data = {
+        "slowdown": _mean_grids(results, "slowdown"),
+        "turnaround": _mean_grids(results, "turnaround"),
+    }
+    report = "\n\n".join(
+        [
+            scheme_comparison_report(
+                f"{trace}: average slowdown, hybrid schemes (policy kernel)",
+                results,
+                metric="slowdown",
+            ),
+            scheme_comparison_report(
+                f"{trace}: average turnaround, hybrid schemes (policy kernel)",
+                results,
+                metric="turnaround",
+                statistic="mean",
+            ),
+        ]
+    )
+    return ExperimentOutput(
+        exp_id="hybrids",
+        title="Hybrid guarantee+preemption schemes vs their parents",
         trace=trace,
         data=data,
         report=report,

@@ -318,6 +318,30 @@ def simulate_cell(cell: GridCell) -> SimulationResult:
     )
 
 
+def simulate_cell_with_stats(
+    simulate_fn: Callable[[GridCell], SimulationResult], cell: GridCell
+) -> tuple[SimulationResult, tuple[int, int, int, int]]:
+    """Run *cell* via *simulate_fn* and report the decode-stats delta.
+
+    The pool submission wrapper: executed inside the worker process, it
+    brackets the cell with :func:`~repro.experiments.shm.decode_stats_snapshot`
+    so the worker's shared-memory activity (attaches, decodes, memo
+    hits, fallbacks) rides back to the coordinator alongside the result
+    -- four integers, not a side channel.  The coordinator folds the
+    deltas into :class:`~repro.obs.counters.GridCounters`
+    ``shm_worker_*`` fields.
+    """
+    before = decode_stats_snapshot()
+    result = simulate_fn(cell)
+    after = decode_stats_snapshot()
+    return result, (
+        after[0] - before[0],
+        after[1] - before[1],
+        after[2] - before[2],
+        after[3] - before[3],
+    )
+
+
 class _GridExecution:
     """One fault-tolerant pass over the pending cells of a grid.
 
@@ -452,13 +476,17 @@ class _GridExecution:
         the in-flight cells are already back on the queue and the
         respawn/degrade decision is taken.
         """
-        inflight: dict[Future[SimulationResult], int] = {}
+        inflight: dict[
+            Future[tuple[SimulationResult, tuple[int, int, int, int]]], int
+        ] = {}
         deadlines: dict[int, float] = {}
         timeout = self.policy.cell_timeout
         while self.queue or inflight:
             while self.queue and len(inflight) < n_workers:
                 i = self.queue.popleft()
-                inflight[pool.submit(self.simulate_fn, self.cells[i])] = i
+                inflight[
+                    pool.submit(simulate_cell_with_stats, self.simulate_fn, self.cells[i])
+                ] = i
                 if timeout is not None:
                     # repro-lint: disable=RPR002 -- executor deadline clock, not simulation state
                     deadlines[i] = time.monotonic() + timeout
@@ -477,7 +505,12 @@ class _GridExecution:
                 deadlines.pop(i, None)
                 exc = fut.exception()
                 if exc is None:
-                    self._commit(i, fut.result())
+                    result, stats = fut.result()
+                    counters = self.outcome.counters
+                    counters.shm_worker_attaches += stats[0]
+                    counters.shm_worker_decodes += stats[1]
+                    counters.shm_worker_fallbacks += stats[3]
+                    self._commit(i, result)
                 elif isinstance(exc, BrokenProcessPool):
                     # the pool died under this cell; fault not attributable
                     self._record_failure(i, exc, "lost", charged=False)
@@ -507,7 +540,9 @@ class _GridExecution:
     def _cull_overdue(
         self,
         pool: ProcessPoolExecutor,
-        inflight: dict[Future[SimulationResult], int],
+        inflight: dict[
+            Future[tuple[SimulationResult, tuple[int, int, int, int]]], int
+        ],
         deadlines: dict[int, float],
     ) -> bool:
         """Handle a wait() that expired: kill the pool if a cell is hung.
@@ -562,6 +597,7 @@ def run_grid(
     counters: GridCounters | None = None,
     simulate_fn: Callable[[GridCell], SimulationResult] | None = None,
     shm: bool | None = None,
+    plane: WorkloadPlane | None = None,
 ) -> GridOutcome:
     """Execute *cells*, in parallel and/or from cache, merging deterministically.
 
@@ -602,6 +638,16 @@ def run_grid(
         the segments are unlinked before this function returns (or, if
         the coordinator is killed first, by the multiprocessing
         resource tracker).
+    plane:
+        Optional caller-owned :class:`~repro.experiments.shm.WorkloadPlane`
+        to publish into instead of a per-call one.  Publishing is
+        memoised by workload fingerprint on the plane, so a caller
+        running several grids over the same workload (a sharded replay's
+        batches, a sweep's shared base trace) pays one segment total
+        instead of one per call.  The caller keeps lifecycle ownership:
+        ``run_grid`` never closes a passed plane, and
+        ``counters.shm_segments`` counts only the segments *this* call
+        published into it.
 
     The result dict iterates in cell input order regardless of worker
     completion order, and each value is bit-for-bit the result a serial
@@ -675,12 +721,14 @@ def run_grid(
     # the cache entries probed above stay valid, as do warm caches
     # written by inline or serial runs.  publish() returning None means
     # shared memory is unavailable: that cell simply stays inline.
-    plane: WorkloadPlane | None = None
+    owned_plane: WorkloadPlane | None = None
     exec_cells: Sequence[GridCell] = cells
     stats_before = decode_stats_snapshot()
     try:
         if use_shm and pending:
-            plane = WorkloadPlane()
+            if plane is None:
+                plane = owned_plane = WorkloadPlane()
+            segments_before = plane.segments
             converted = list(cells)
             for i in pending:
                 cell = converted[i]
@@ -690,7 +738,7 @@ def run_grid(
                 if ref is not None:
                     converted[i] = replace(cell, jobs=None, jobs_ref=ref)
             exec_cells = converted
-            outcome.counters.shm_segments += plane.segments
+            outcome.counters.shm_segments += plane.segments - segments_before
 
         if pending:
             execution = _GridExecution(
@@ -702,8 +750,8 @@ def run_grid(
             else:
                 execution.run_serial()
     finally:
-        if plane is not None:
-            plane.close()
+        if owned_plane is not None:
+            owned_plane.close()
         attaches, decodes, _hits, fallbacks = decode_stats_snapshot()
         outcome.counters.shm_attaches += attaches - stats_before[0]
         outcome.counters.shm_decodes += decodes - stats_before[1]
@@ -1050,23 +1098,36 @@ def replay_sharded(
     *provenance* (typically ``{"pipeline": pipe.fingerprint(), "source":
     log_name}``) is folded into every shard cell's cache key.  *shm* is
     forwarded to each batch's :func:`run_grid`, so a retried shard
-    re-pickles a ~200-byte ref instead of its whole window of jobs.
+    re-pickles a ~200-byte ref instead of its whole window of jobs; all
+    batches share one replay-owned
+    :class:`~repro.experiments.shm.WorkloadPlane`, flushed (segments
+    unlinked) after each batch so ``/dev/shm`` holds at most one batch
+    of segments at a time -- shards are distinct workloads, so cross-
+    batch segment reuse would buy nothing and cost the boundedness.
     """
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
     outcome = ShardedReplayOutcome(
         counters=counters if counters is not None else GridCounters()
     )
+    plane = WorkloadPlane()
 
     def _flush(batch: list[GridCell]) -> None:
-        grid = run_grid(
-            batch,
-            workers=workers,
-            cache=cache,
-            policy=policy,
-            counters=outcome.counters,
-            shm=shm,
-        )
+        try:
+            grid = run_grid(
+                batch,
+                workers=workers,
+                cache=cache,
+                policy=policy,
+                counters=outcome.counters,
+                shm=shm,
+                plane=plane,
+            )
+        finally:
+            # every shard is a distinct workload, so nothing published
+            # for this batch is reusable by the next one: unlink now to
+            # keep shared memory bounded by one batch, not the log
+            plane.close()
         for result in grid.results.values():  # input order == shard order
             outcome.jobs.extend(result.jobs)
         outcome.executed += grid.executed

@@ -35,6 +35,7 @@ __all__ = [
     "SchemeSpec",
     "SuspensionOverheadModel",
     "compare_schemes",
+    "hybrid_schemes",
     "simulate",
     "standard_schemes",
     "tuned_schemes",
@@ -147,6 +148,37 @@ def tuned_schemes(
     specs.append(SchemeSpec(label="No Suspension", factory=EasyBackfillScheduler))
     specs.append(SchemeSpec(label="IS", factory=ImmediateServiceScheduler))
     return specs
+
+
+def hybrid_schemes(suspension_factor: float = 2.0) -> list[SchemeSpec]:
+    """The policy-kernel cross products next to their parents.
+
+    Pairs each hybrid (``ss-easy``, ``tss-conservative``) with the pure
+    schemes it composes, so one comparison run shows what the guarantee
+    layer costs and what the preemption layer buys (see DESIGN.md
+    section 12).
+    """
+    from repro.schedulers.hybrids import (
+        SuspensionWithHeadGuarantee,
+        TunableSuspensionWithGuarantees,
+    )
+
+    sf = suspension_factor
+    return [
+        SchemeSpec(
+            label=f"SS (SF = {sf:g})",
+            factory=(lambda: SelectiveSuspensionScheduler(suspension_factor=sf)),
+        ),
+        SchemeSpec(
+            label=f"SS+EASY (SF = {sf:g})",
+            factory=(lambda: SuspensionWithHeadGuarantee(suspension_factor=sf)),
+        ),
+        SchemeSpec(
+            label=f"TSS+CONS (SF = {sf:g})",
+            factory=(lambda: TunableSuspensionWithGuarantees(suspension_factor=sf)),
+        ),
+        SchemeSpec(label="No Suspension", factory=EasyBackfillScheduler),
+    ]
 
 
 def compare_schemes(

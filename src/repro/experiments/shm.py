@@ -213,11 +213,12 @@ class DecodeStats:
 
     Every process (coordinator or pool worker) counts its *own*
     activity; :func:`repro.experiments.parallel.run_grid` folds the
-    coordinator's delta into :class:`~repro.obs.counters.GridCounters`,
-    which covers the serial, degraded and fallback paths exactly and
-    pool workers not at all (their tallies live and die with them --
-    aggregating across processes would need a side channel the dispatch
-    path should not pay for).
+    coordinator's delta into :class:`~repro.obs.counters.GridCounters`
+    (the serial, degraded and fallback paths), and pool workers report
+    a per-cell delta alongside each result (see
+    :func:`repro.experiments.parallel.simulate_cell_with_stats`), which
+    the coordinator folds into the ``shm_worker_*`` counters -- four
+    integers riding the existing result pickle, not a side channel.
     """
 
     #: successful segment attaches in this process

@@ -6,12 +6,21 @@ dynamically (and therefore only for the event sequences a given
 workload happens to produce):
 
 * **Scheduler contract** -- every concrete :class:`Scheduler` subclass
-  overrides ``scheme_id``, keeps registry-compatible ``config(self)`` /
+  overrides ``scheme_id`` (in the class body, or -- for spec-driven
+  kernels like ``PolicyKernel`` -- by assigning ``self.scheme_id`` in
+  ``__init__``), keeps registry-compatible ``config(self)`` /
   ``describe(self)`` signatures, and -- if its ``__init__`` takes
   behavioural knobs -- overrides ``config()`` so those knobs reach the
   cache fingerprint and the worker-side rebuild (the silent-stale-cache
   bug class).  Every concrete ``scheme_id`` must have a builder
   registered in ``schedulers/registry.py``.
+* **Policy contract** -- every concrete policy-axis class
+  (``QueuePolicy`` / ``ReservationPolicy`` / ``BackfillPolicy`` /
+  ``PreemptionPolicy`` descendants) whose ``__init__`` takes knobs must
+  override ``config_fragment()`` so the knobs reach
+  ``SchedulerSpec.config()`` -- the same stale-cache bug class, one
+  composition layer down -- and ``config_fragment`` must stay callable
+  with no arguments.
 * **Event-vocabulary lockstep** -- the :class:`Tracer` must emit every
   type in ``EVENT_TYPES`` (no orphan vocabulary), every lifecycle
   emission method must fold :class:`TraceCounters` in the same breath
@@ -179,7 +188,13 @@ def _check_schedulers(
             None,
         )
         # scheme_id must be overridden somewhere below the abstract base
-        if _inherited_assign(classes, name, "scheme_id", root_cls="Scheduler") is None:
+        # (class body, or self.scheme_id assigned by a spec-driven
+        # __init__ as PolicyKernel does)
+        if _inherited_assign(
+            classes, name, "scheme_id", root_cls="Scheduler"
+        ) is None and not _self_attr_in_inits(
+            classes, name, "scheme_id", root_cls="Scheduler"
+        ):
             findings.append(
                 _finding(
                     info.relpath,
@@ -250,6 +265,37 @@ def _check_schedulers(
     return findings
 
 
+def _self_attr_in_inits(
+    classes: dict[str, _ClassInfo],
+    cls_name: str,
+    attr: str,
+    root_cls: str,
+    _seen: frozenset[str] = frozenset(),
+) -> bool:
+    """True when *cls_name* or an ancestor below *root_cls* assigns
+    ``self.<attr>`` inside its ``__init__`` (dynamic override)."""
+    info = classes.get(cls_name)
+    if info is None or cls_name == root_cls or cls_name in _seen:
+        return False
+    init = info.methods.get("__init__")
+    if init is not None and any(
+        isinstance(n, ast.Assign)
+        and any(
+            isinstance(t, ast.Attribute)
+            and t.attr == attr
+            and isinstance(t.value, ast.Name)
+            and t.value.id == "self"
+            for t in n.targets
+        )
+        for n in ast.walk(init)
+    ):
+        return True
+    return any(
+        _self_attr_in_inits(classes, b, attr, root_cls, _seen | {cls_name})
+        for b in info.bases
+    )
+
+
 def _inherited_assign_method(
     classes: dict[str, _ClassInfo], cls_name: str, meth: str, root_cls: str
 ) -> ast.FunctionDef | None:
@@ -284,6 +330,72 @@ def _registered_schemes(contexts: dict[str, FileContext]) -> set[str] | None:
                         out.add(node.args[0].value)
             return out
     return None
+
+
+# ----------------------------------------------------------------------
+# policy contract (the composition layer under PolicyKernel)
+# ----------------------------------------------------------------------
+#: the four policy-axis roots of repro/schedulers/policy.py
+_POLICY_ROOTS = ("QueuePolicy", "ReservationPolicy", "BackfillPolicy", "PreemptionPolicy")
+
+
+def _check_policies(
+    contexts: dict[str, FileContext], classes: dict[str, _ClassInfo]
+) -> list[Finding]:
+    """Concrete policy classes must surface their knobs in config_fragment.
+
+    ``SchedulerSpec.config()`` is assembled purely from the axes'
+    ``config_fragment()`` dicts, so a policy knob that never reaches a
+    fragment is invisible to the result cache and the worker-side
+    rebuild -- exactly the scheduler ``config()`` bug class, one
+    composition layer down.
+    """
+    findings: list[Finding] = []
+    for name in sorted(classes):
+        info = classes[name]
+        if name == "Policy" or name in _POLICY_ROOTS:
+            continue
+        if not any(_descends_from(classes, name, root) for root in _POLICY_ROOTS):
+            continue
+        if info.is_abstract:
+            continue
+        ctx = contexts[info.relpath]
+        init = info.methods.get("__init__")
+        if init is not None:
+            extra = [a.arg for a in (*init.args.args[1:], *init.args.kwonlyargs)]
+            if extra and _inherited_assign_method(
+                classes, name, "config_fragment", root_cls="Policy"
+            ) is None:
+                findings.append(
+                    _finding(
+                        info.relpath,
+                        init,
+                        ctx,
+                        f"policy {name}.__init__ takes knobs "
+                        f"({', '.join(extra)}) but no config_fragment() "
+                        "override surfaces them -- SchedulerSpec.config() "
+                        "and the cache fingerprint would miss them",
+                    )
+                )
+        fn = info.methods.get("config_fragment")
+        if fn is not None:
+            n_required = (
+                len([a for a in fn.args.args if a.arg != "self"])
+                - len(fn.args.defaults)
+                + len([d for d in fn.args.kw_defaults if d is None])
+            )
+            if n_required > 0:
+                findings.append(
+                    _finding(
+                        info.relpath,
+                        fn,
+                        ctx,
+                        f"policy {name}.config_fragment() takes required "
+                        "parameters; SchedulerSpec.config() calls it as "
+                        "config_fragment(self) only",
+                    )
+                )
+    return findings
 
 
 # ----------------------------------------------------------------------
@@ -557,6 +669,7 @@ def run_project_checks(contexts: dict[str, FileContext]) -> list[Finding]:
     classes = _collect_classes(contexts)
     findings: list[Finding] = []
     findings.extend(_check_schedulers(contexts, classes))
+    findings.extend(_check_policies(contexts, classes))
     findings.extend(_check_event_lockstep(contexts))
     findings.extend(_check_tracer_call_sites(contexts))
     findings.extend(_check_recorders(contexts))

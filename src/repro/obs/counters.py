@@ -27,6 +27,7 @@ DENIAL_CAUSES = (
     "category_limit",  # TSS: victim past its category's preemption limit
     "protected",  # IS: victim inside its timeslice protection window
     "priority",  # IS: victim's instantaneous xfactor not below idle's
+    "reservation_guard",  # hybrids: job would overrun the head's anchor
 )
 
 
@@ -114,21 +115,37 @@ class GridCounters:
     #: shared-memory workload segments published for this grid
     shm_segments: int = 0
     #: segment attaches performed in the coordinator process (serial,
-    #: degraded and cache-probe paths; pool workers attach in their own
-    #: processes and are deliberately not aggregated here)
+    #: degraded and cache-probe paths)
     shm_attaches: int = 0
     #: full segment decodes in the coordinator process (memo misses)
     shm_decodes: int = 0
     #: refs resolved from the local fallback registry after an attach
     #: or integrity failure in the coordinator process
     shm_fallbacks: int = 0
+    #: segment attaches performed inside pool workers, summed over the
+    #: per-cell deltas each worker reports alongside its result
+    shm_worker_attaches: int = 0
+    #: full segment decodes inside pool workers (each worker pays at
+    #: most one per (segment, pipeline); later cells hit its memo)
+    shm_worker_decodes: int = 0
+    #: fallback-registry resolutions inside pool workers -- workers
+    #: have no local registry, so any non-zero value means a worker
+    #: inherited one by fork and the plane degraded there
+    shm_worker_fallbacks: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return asdict(self)
 
     #: fields that describe normal operation rather than recovery --
-    #: they never make the tally truthy (``shm_fallbacks`` is recovery)
-    _ROUTINE_FIELDS = ("shm_segments", "shm_attaches", "shm_decodes")
+    #: they never make the tally truthy (the ``*_fallbacks`` pair is
+    #: recovery)
+    _ROUTINE_FIELDS = (
+        "shm_segments",
+        "shm_attaches",
+        "shm_decodes",
+        "shm_worker_attaches",
+        "shm_worker_decodes",
+    )
 
     def __bool__(self) -> bool:
         """True when any recovery machinery fired."""

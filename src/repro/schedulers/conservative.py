@@ -18,118 +18,41 @@ long-lived profile structures.
 
 from __future__ import annotations
 
-from repro.schedulers.base import Scheduler
-from repro.schedulers.profiles import AvailabilityProfile
+from repro.schedulers.policy import (
+    FifoOrder,
+    NoBackfill,
+    NoPreemption,
+    PerJobReservations,
+    PolicyKernel,
+    SchedulerSpec,
+)
 from repro.workload.job import Job
 
 
-class ConservativeBackfillScheduler(Scheduler):
-    """Per-job reservations with compression on early completion."""
+class ConservativeBackfillScheduler(PolicyKernel):
+    """Per-job reservations with compression on early completion.
 
-    name = "CONS"
+    The composition: FIFO queue and :class:`PerJobReservations`, which
+    serves arrivals and completions itself (anchoring and compression
+    *are* the scheme) -- the backfill pass never runs.
+    """
+
     scheme_id = "conservative"
 
     def __init__(self) -> None:
-        super().__init__()
-        #: job_id -> guaranteed start time, for every queued job
-        self._anchors: dict[int, float] = {}
-
-    # ------------------------------------------------------------------
-    # hooks
-    # ------------------------------------------------------------------
-    def on_begin(self) -> None:
-        self._anchors.clear()
-
-    def on_arrival(self, job: Job) -> None:
-        """Anchor the new job behind all existing reservations."""
-        driver = self.driver
-        assert driver is not None
-        profile = self._profile_with_reservations(exclude=job.job_id)
-        anchor = profile.find_anchor(job.remaining_estimate(), job.procs)
-        self._anchors[job.job_id] = anchor
-        if anchor <= driver.now and driver.can_start(job):
-            del self._anchors[job.job_id]
-            driver.start_job(job)
-        elif self.tracer is not None:
-            self.tracer.decision(
-                driver.now,
-                "reservation",
-                job.job_id,
-                anchor=anchor,
-                requested=job.procs,
-                duration=job.remaining_estimate(),
+        reservations = PerJobReservations()
+        self._reservations = reservations
+        super().__init__(
+            SchedulerSpec(
+                scheme_id="conservative",
+                display_name="CONS",
+                queue=FifoOrder(),
+                reservation=reservations,
+                backfill=NoBackfill(),
+                preemption=NoPreemption(),
             )
-
-    def on_finish(self, job: Job) -> None:
-        """Compress: re-anchor every queued job in guarantee order."""
-        driver = self.driver
-        assert driver is not None
-        old_anchors = dict(self._anchors) if self.tracer is not None else {}
-        queue = sorted(
-            driver.queued_jobs(),
-            key=lambda j: (self._anchors.get(j.job_id, float("inf")), j.job_id),
         )
-        # Rebuild from running jobs only, then re-admit reservations in
-        # guarantee order; each job's new anchor is <= its old one
-        # because the profile it sees is a subset of the old claims.
-        profile = self._running_profile()
-        self._anchors.clear()
-        for queued in queue:
-            duration = queued.remaining_estimate()
-            anchor = profile.find_anchor(duration, queued.procs)
-            if anchor <= driver.now and driver.can_start(queued):
-                driver.start_job(queued)
-                profile.claim(driver.now, duration, queued.procs)
-            else:
-                self._anchors[queued.job_id] = anchor
-                profile.claim(anchor, duration, queued.procs)
-                # compression moved the guarantee: record the new anchor
-                # (unchanged reservations are not re-emitted)
-                if (
-                    self.tracer is not None
-                    and old_anchors.get(queued.job_id) != anchor
-                ):
-                    self.tracer.decision(
-                        driver.now,
-                        "reservation",
-                        queued.job_id,
-                        anchor=anchor,
-                        requested=queued.procs,
-                        duration=duration,
-                        compressed_from=old_anchors.get(queued.job_id),
-                    )
-
-    # ------------------------------------------------------------------
-    # planning
-    # ------------------------------------------------------------------
-    def _running_profile(self) -> AvailabilityProfile:
-        driver = self.driver
-        assert driver is not None
-        profile = AvailabilityProfile(driver.cluster.n_procs, driver.now)
-        for running in driver.running_jobs():
-            profile.claim_running(len(running.allocated_procs), running.expected_end)
-        return profile
-
-    def _profile_with_reservations(self, exclude: int) -> AvailabilityProfile:
-        driver = self.driver
-        assert driver is not None
-        profile = self._running_profile()
-        by_anchor = sorted(
-            (
-                (anchor, jid)
-                for jid, anchor in self._anchors.items()
-                if jid != exclude
-            ),
-        )
-        queued_by_id = {j.job_id: j for j in driver.queued_jobs()}
-        for anchor, jid in by_anchor:
-            queued = queued_by_id.get(jid)
-            if queued is None:  # reservation for a job that just started
-                continue
-            start = max(anchor, driver.now)
-            profile.claim(start, queued.remaining_estimate(), queued.procs)
-        return profile
 
     def guaranteed_start(self, job: Job) -> float | None:
         """The job's current start-time guarantee (None once running)."""
-        return self._anchors.get(job.job_id)
+        return self._reservations.guaranteed_start(job)

@@ -20,67 +20,37 @@ finish early and the next event re-plans, recovering the released time
 
 from __future__ import annotations
 
-from repro.schedulers.base import Scheduler
-from repro.schedulers.profiles import AvailabilityProfile
-from repro.workload.job import Job
+from repro.schedulers.policy import (
+    FifoOrder,
+    HeadReservation,
+    NoPreemption,
+    PolicyKernel,
+    ProfileBackfill,
+    SchedulerSpec,
+)
 
 
-class EasyBackfillScheduler(Scheduler):
-    """EASY/aggressive backfilling over user estimates."""
+class EasyBackfillScheduler(PolicyKernel):
+    """EASY/aggressive backfilling over user estimates.
 
-    name = "EASY"
+    The composition: FIFO queue, single head reservation (claimed and
+    announced), profile-admission backfill, no preemption.
+    """
+
     scheme_id = "easy"
 
-    def on_arrival(self, job: Job) -> None:
-        self.schedule_pass()
+    def __init__(self) -> None:
+        super().__init__(
+            SchedulerSpec(
+                scheme_id="easy",
+                display_name="EASY",
+                queue=FifoOrder(),
+                reservation=HeadReservation(),
+                backfill=ProfileBackfill(),
+                preemption=NoPreemption(),
+            )
+        )
 
-    def on_finish(self, job: Job) -> None:
-        self.schedule_pass()
-
-    # ------------------------------------------------------------------
     def schedule_pass(self) -> None:
         """One planning pass: greedy FIFO starts, then backfill."""
-        driver = self.driver
-        assert driver is not None
-
-        # Phase 1: start jobs strictly in queue order while they fit.
-        queue = driver.queued_jobs()
-        started = True
-        while started:
-            started = False
-            queue = driver.queued_jobs()
-            if queue and driver.can_start(queue[0]):
-                driver.start_job(queue[0])
-                started = True
-
-        queue = driver.queued_jobs()
-        if not queue:
-            return
-
-        # Phase 2: the head cannot start; give it the single reservation.
-        head = queue[0]
-        profile = AvailabilityProfile(driver.cluster.n_procs, driver.now)
-        for running in driver.running_jobs():
-            profile.claim_running(len(running.allocated_procs), running.expected_end)
-        head_anchor = profile.find_anchor(head.remaining_estimate(), head.procs)
-        profile.claim(head_anchor, head.remaining_estimate(), head.procs)
-        if self.tracer is not None:
-            self.tracer.decision(
-                driver.now,
-                "reservation",
-                head.job_id,
-                anchor=head_anchor,
-                requested=head.procs,
-                duration=head.remaining_estimate(),
-            )
-
-        # Phase 3: backfill later jobs that start now without touching
-        # the head's reservation.  Each start updates both the real
-        # cluster and the planning profile.
-        for job in queue[1:]:
-            if not driver.can_start(job):
-                continue
-            duration = job.remaining_estimate()
-            if profile.fits(driver.now, duration, job.procs):
-                driver.start_job(job, via="backfill")
-                profile.claim(driver.now, duration, job.procs)
+        self.backfill_pass()

@@ -9,27 +9,36 @@ possible correctness reference for the driver).
 
 from __future__ import annotations
 
-from repro.schedulers.base import Scheduler
-from repro.workload.job import Job
+from repro.schedulers.policy import (
+    FifoOrder,
+    NoBackfill,
+    NoPreemption,
+    NoReservations,
+    PolicyKernel,
+    SchedulerSpec,
+)
 
 
-class FCFSScheduler(Scheduler):
-    """Strict arrival-order dispatch, no backfilling."""
+class FCFSScheduler(PolicyKernel):
+    """Strict arrival-order dispatch, no backfilling.
 
-    name = "FCFS"
+    The degenerate composition: FIFO queue and nothing else -- no
+    reservation means the service pass stops at the first blocked head.
+    """
+
     scheme_id = "fcfs"
 
-    def on_arrival(self, job: Job) -> None:
-        self._dispatch_in_order()
-
-    def on_finish(self, job: Job) -> None:
-        self._dispatch_in_order()
+    def __init__(self) -> None:
+        super().__init__(
+            SchedulerSpec(
+                scheme_id="fcfs",
+                display_name="FCFS",
+                queue=FifoOrder(),
+                reservation=NoReservations(),
+                backfill=NoBackfill(),
+                preemption=NoPreemption(),
+            )
+        )
 
     def _dispatch_in_order(self) -> None:
-        assert self.driver is not None
-        # Start queue-head jobs while they fit; stop at the first that
-        # does not -- that is the whole policy.
-        for job in self.driver.queued_jobs():
-            if not self.driver.can_start(job):
-                break
-            self.driver.start_job(job)
+        self.backfill_pass()

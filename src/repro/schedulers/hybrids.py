@@ -1,0 +1,142 @@
+"""Hybrid guarantee + preemption schemes unlocked by the policy kernel.
+
+The paper leaves open how selective preemption interacts with
+start-time guarantees: SS deliberately reserves nothing (section IV-A
+argues the xfactor priority alone prevents starvation), while the
+non-preemptive baselines buy predictability with reservations.  The
+policy decomposition makes the cross products expressible:
+
+* **ss-easy** -- SS's suspension sweep with an EASY-style head
+  reservation the sweep must honor.  Each suspension sweep plans the
+  queue head's earliest start against the running jobs (announced as a
+  ``reservation`` decision record, exactly like EASY's) and then
+  refuses to *suspend victims* for any other job that would still be
+  running at that anchor (denial cause ``reservation_guard``).  Greedy
+  starts onto free processors are untouched: the guard constrains
+  preemption, not admission, so the scheme trades a little of SS's
+  aggression for an EASY-grade guarantee that the most-delayed job's
+  forecast start cannot be pushed back by preemption churn.
+* **tss-conservative** -- conservative backfilling's per-job
+  guarantees with TSS's category-limited preemption sweep layered on
+  top.  Arrivals and completions anchor and compress exactly as in
+  CONS; every ``preemption_interval`` the sweep additionally serves
+  the queue by suspending victims under the category limits.  Jobs the
+  sweep starts or suspends drop out of / re-enter the anchor table at
+  the next compression (anchors are filtered against the live queue),
+  so the guarantees stay self-consistent -- they are forecasts, as in
+  CONS, not contracts.
+
+Both are ordinary registry schemes: constructible from ``config()``
+mappings, cacheable, traceable, and grid-runnable.
+"""
+
+from __future__ import annotations
+
+from repro.core.priorities import PreemptionCriteria
+from repro.core.tss import CategoryLimits
+from repro.schedulers.policy import (
+    GreedyBackfill,
+    HeadReservation,
+    PerJobReservations,
+    PolicyKernel,
+    SchedulerSpec,
+    SuspensionPriorityOrder,
+    SweepPreemption,
+)
+from repro.workload.job import Job
+
+
+class SuspensionWithHeadGuarantee(PolicyKernel):
+    """``ss-easy``: the SS sweep honoring an EASY head reservation."""
+
+    scheme_id = "ss-easy"
+
+    def __init__(
+        self,
+        suspension_factor: float = 2.0,
+        preemption_interval: float = 60.0,
+        width_rule: bool = True,
+    ) -> None:
+        engine = SweepPreemption(
+            PreemptionCriteria(
+                suspension_factor=suspension_factor, width_rule=width_rule
+            ),
+            preemption_interval=preemption_interval,
+        )
+        self._engine = engine
+        super().__init__(
+            SchedulerSpec(
+                scheme_id="ss-easy",
+                display_name=f"SS+EASY(SF={suspension_factor:g})",
+                queue=SuspensionPriorityOrder(),
+                reservation=HeadReservation(),
+                backfill=GreedyBackfill(),
+                preemption=engine,
+            )
+        )
+
+    @property
+    def criteria(self) -> PreemptionCriteria:
+        return self._engine.criteria
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}, sweep every {self.timer_interval:g}s, "
+            f"head reservation guards preemption"
+        )
+
+
+class TunableSuspensionWithGuarantees(PolicyKernel):
+    """``tss-conservative``: per-job guarantees + category-limited sweep."""
+
+    scheme_id = "tss-conservative"
+
+    def __init__(
+        self,
+        suspension_factor: float = 2.0,
+        limits: CategoryLimits | None = None,
+        preemption_interval: float = 60.0,
+        width_rule: bool = True,
+    ) -> None:
+        limits = limits if limits is not None else CategoryLimits(online=True)
+        mode = "online" if limits.online else "calibrated"
+        engine = SweepPreemption(
+            PreemptionCriteria(
+                suspension_factor=suspension_factor, width_rule=width_rule
+            ),
+            preemption_interval=preemption_interval,
+            limits=limits,
+        )
+        self._engine = engine
+        reservations = PerJobReservations()
+        self._reservations = reservations
+        super().__init__(
+            SchedulerSpec(
+                scheme_id="tss-conservative",
+                display_name=f"TSS+CONS(SF={suspension_factor:g},{mode})",
+                queue=SuspensionPriorityOrder(),
+                reservation=reservations,
+                backfill=GreedyBackfill(),
+                preemption=engine,
+            )
+        )
+
+    @property
+    def criteria(self) -> PreemptionCriteria:
+        return self._engine.criteria
+
+    @property
+    def limits(self) -> CategoryLimits:
+        limits = self._engine.limits
+        assert isinstance(limits, CategoryLimits)
+        return limits
+
+    def guaranteed_start(self, job: Job) -> float | None:
+        """The job's current start-time guarantee (None once running)."""
+        return self._reservations.guaranteed_start(job)
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}, sweep every {self.timer_interval:g}s, "
+            f"per-job guarantees with compression"
+        )

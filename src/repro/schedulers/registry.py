@@ -147,3 +147,33 @@ def _build_tss(config: Mapping[str, object]) -> Scheduler:
         preemption_interval=float(config.get("preemption_interval", 60.0)),  # type: ignore[arg-type]
         width_rule=bool(config.get("width_rule", True)),
     )
+
+
+@register("ss-easy")
+def _build_ss_easy(config: Mapping[str, object]) -> Scheduler:
+    from repro.schedulers.hybrids import SuspensionWithHeadGuarantee
+
+    return SuspensionWithHeadGuarantee(
+        suspension_factor=float(config.get("suspension_factor", 2.0)),  # type: ignore[arg-type]
+        preemption_interval=float(config.get("preemption_interval", 60.0)),  # type: ignore[arg-type]
+        width_rule=bool(config.get("width_rule", True)),
+    )
+
+
+@register("tss-conservative")
+def _build_tss_conservative(config: Mapping[str, object]) -> Scheduler:
+    from repro.core.tss import CategoryLimits
+    from repro.schedulers.hybrids import TunableSuspensionWithGuarantees
+
+    raw_limits = config.get("limits")
+    limits = (
+        CategoryLimits.from_config(raw_limits)  # type: ignore[arg-type]
+        if isinstance(raw_limits, Mapping)
+        else None
+    )
+    return TunableSuspensionWithGuarantees(
+        suspension_factor=float(config.get("suspension_factor", 2.0)),  # type: ignore[arg-type]
+        limits=limits,
+        preemption_interval=float(config.get("preemption_interval", 60.0)),  # type: ignore[arg-type]
+        width_rule=bool(config.get("width_rule", True)),
+    )

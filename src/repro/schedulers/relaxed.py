@@ -21,13 +21,23 @@ non-preemptive baseline chosen.
 
 from __future__ import annotations
 
-from repro.schedulers.base import Scheduler
-from repro.schedulers.profiles import AvailabilityProfile
-from repro.workload.job import Job
+from repro.schedulers.policy import (
+    FifoOrder,
+    HeadReservation,
+    NoPreemption,
+    PolicyKernel,
+    RelaxedBackfill,
+    SchedulerSpec,
+)
 
 
-class RelaxedBackfillScheduler(Scheduler):
+class RelaxedBackfillScheduler(PolicyKernel):
     """Backfilling with a bounded head-delay allowance.
+
+    The composition: FIFO queue, a head reservation that is *planned
+    but neither claimed nor announced* (the anchor is an internal
+    allowance, re-derived per candidate), relaxed what-if admission,
+    no preemption.
 
     Parameters
     ----------
@@ -39,60 +49,25 @@ class RelaxedBackfillScheduler(Scheduler):
     scheme_id = "relaxed"
 
     def __init__(self, relaxation: float = 0.5) -> None:
-        super().__init__()
-        if relaxation < 0:
-            raise ValueError("relaxation must be nonnegative")
-        self.relaxation = float(relaxation)
-        self.name = f"RELAXED(r={relaxation:g})"
+        super().__init__(
+            SchedulerSpec(
+                scheme_id="relaxed",
+                display_name=f"RELAXED(r={relaxation:g})",
+                queue=FifoOrder(),
+                reservation=HeadReservation(claim_head=False, announce=False),
+                backfill=RelaxedBackfill(relaxation=relaxation),
+                preemption=NoPreemption(),
+            )
+        )
 
-    def config(self) -> dict[str, object]:
-        return {"scheme": self.scheme_id, "relaxation": self.relaxation}
+    @property
+    def relaxation(self) -> float:
+        backfill = self.backfill
+        assert isinstance(backfill, RelaxedBackfill)
+        return backfill.relaxation
 
-    def on_arrival(self, job: Job) -> None:
-        self.schedule_pass()
-
-    def on_finish(self, job: Job) -> None:
-        self.schedule_pass()
-
-    # ------------------------------------------------------------------
     def schedule_pass(self) -> None:
-        driver = self.driver
-        assert driver is not None
-
-        # Phase 1: FIFO starts while the head fits (as EASY).
-        while True:
-            queue = driver.queued_jobs()
-            if not queue or not driver.can_start(queue[0]):
-                break
-            driver.start_job(queue[0])
-
-        queue = driver.queued_jobs()
-        if not queue:
-            return
-
-        head = queue[0]
-        profile = AvailabilityProfile(driver.cluster.n_procs, driver.now)
-        for running in driver.running_jobs():
-            profile.claim_running(len(running.allocated_procs), running.expected_end)
-        head_duration = head.remaining_estimate()
-        head_anchor = profile.find_anchor(head_duration, head.procs)
-        allowance = head_anchor + self.relaxation * head.remaining_estimate()
-
-        # Phase 2: admit backfills whose what-if head anchor stays
-        # within the allowance.  The accepted claims accumulate in
-        # `profile` (without the head's own claim, which moves).
-        for job in queue[1:]:
-            if not driver.can_start(job):
-                continue
-            duration = job.remaining_estimate()
-            if not profile.fits(driver.now, duration, job.procs):
-                continue
-            trial = profile.clone()
-            trial.claim(driver.now, duration, job.procs)
-            new_anchor = trial.find_anchor(head_duration, head.procs)
-            if new_anchor <= allowance:
-                driver.start_job(job)
-                profile.claim(driver.now, duration, job.procs)
+        self.backfill_pass()
 
     def describe(self) -> str:
         return f"{self.name} (EASY at r=0)"

@@ -30,13 +30,22 @@ exactly that split.
 
 from __future__ import annotations
 
-from repro.schedulers.base import Scheduler
-from repro.schedulers.profiles import AvailabilityProfile
-from repro.workload.job import Job
+from repro.schedulers.policy import (
+    FifoOrder,
+    HeadReservation,
+    NoPreemption,
+    PolicyKernel,
+    SchedulerSpec,
+    SpeculativeBackfill,
+)
 
 
-class SpeculativeBackfillScheduler(Scheduler):
+class SpeculativeBackfillScheduler(PolicyKernel):
     """EASY plus bounded test-run speculation into pre-reservation holes.
+
+    The composition: EASY's queue and reservation, with the backfill
+    rule swapped for :class:`SpeculativeBackfill` (which also asks the
+    kernel to re-run the pass after every speculative kill).
 
     Parameters
     ----------
@@ -52,114 +61,35 @@ class SpeculativeBackfillScheduler(Scheduler):
     scheme_id = "speculative"
 
     def __init__(self, speculation_window: float = 900.0, max_kills: int = 2) -> None:
-        super().__init__()
-        if speculation_window <= 0:
-            raise ValueError("speculation_window must be positive")
-        if max_kills < 0:
-            raise ValueError("max_kills must be nonnegative")
-        self.speculation_window = float(speculation_window)
-        self.max_kills = int(max_kills)
-        self.name = "SPEC-BF"
+        super().__init__(
+            SchedulerSpec(
+                scheme_id="speculative",
+                display_name="SPEC-BF",
+                queue=FifoOrder(),
+                reservation=HeadReservation(),
+                backfill=SpeculativeBackfill(
+                    speculation_window=speculation_window, max_kills=max_kills
+                ),
+                preemption=NoPreemption(),
+            )
+        )
 
-    def config(self) -> dict[str, object]:
-        return {
-            "scheme": self.scheme_id,
-            "speculation_window": self.speculation_window,
-            "max_kills": self.max_kills,
-        }
+    @property
+    def _speculative(self) -> SpeculativeBackfill:
+        backfill = self.backfill
+        assert isinstance(backfill, SpeculativeBackfill)
+        return backfill
 
-    def on_arrival(self, job: Job) -> None:
-        self.schedule_pass()
+    @property
+    def speculation_window(self) -> float:
+        return self._speculative.speculation_window
 
-    def on_finish(self, job: Job) -> None:
-        self.schedule_pass()
+    @property
+    def max_kills(self) -> int:
+        return self._speculative.max_kills
 
-    def on_kill(self, job: Job) -> None:
-        self.schedule_pass()
-
-    # ------------------------------------------------------------------
     def schedule_pass(self) -> None:
-        driver = self.driver
-        assert driver is not None
-
-        # Phase 1: FIFO starts (as EASY).
-        while True:
-            queue = driver.queued_jobs()
-            if not queue or not driver.can_start(queue[0]):
-                break
-            driver.start_job(queue[0])
-
-        queue = driver.queued_jobs()
-        if not queue:
-            return
-
-        # Phase 2: head reservation.
-        head = queue[0]
-        profile = AvailabilityProfile(driver.cluster.n_procs, driver.now)
-        for running in driver.running_jobs():
-            profile.claim_running(len(running.allocated_procs), running.expected_end)
-        head_anchor = profile.find_anchor(head.remaining_estimate(), head.procs)
-        profile.claim(head_anchor, head.remaining_estimate(), head.procs)
-        if self.tracer is not None:
-            self.tracer.decision(
-                driver.now,
-                "reservation",
-                head.job_id,
-                anchor=head_anchor,
-                requested=head.procs,
-                duration=head.remaining_estimate(),
-            )
-
-        # Phase 3: conventional backfill, then speculation.
-        for job in queue[1:]:
-            if not driver.can_start(job):
-                continue
-            duration = job.remaining_estimate()
-            if profile.fits(driver.now, duration, job.procs):
-                driver.start_job(job, via="backfill")
-                profile.claim(driver.now, duration, job.procs)
-                continue
-            self._try_speculate(job, profile)
-
-    def _try_speculate(self, job: Job, profile: AvailabilityProfile) -> bool:
-        """Test-run *job* in the hole before the profile next tightens."""
-        driver = self.driver
-        assert driver is not None
-        if job.kill_count >= self.max_kills:
-            return False
-        if job.needs_specific_procs:
-            return False  # never gamble away a suspension checkpoint
-        if job.remaining_estimate() <= self.speculation_window:
-            return False  # not a gamble; conventional backfill territory
-        # hole length on job.procs processors starting now: scan the
-        # profile breakpoints for the first time free drops below need
-        hole_end = float("inf")
-        for t, free in profile.breakpoints():
-            if t <= driver.now:
-                if free < job.procs:
-                    return False  # no room even now (reservation at now)
-                continue
-            if free < job.procs:
-                hole_end = t
-                break
-        hole = hole_end - driver.now
-        if hole < self.speculation_window:
-            return False  # too short for a meaningful test run
-        deadline = driver.now + self.speculation_window
-        if self.tracer is not None:
-            self.tracer.decision(
-                driver.now,
-                "speculate",
-                job.job_id,
-                deadline=deadline,
-                window=self.speculation_window,
-                hole=hole if hole != float("inf") else None,
-                requested=job.procs,
-                kills_so_far=job.kill_count,
-            )
-        driver.start_speculative(job, deadline=deadline)
-        profile.claim(driver.now, self.speculation_window, job.procs)
-        return True
+        self.backfill_pass()
 
     def describe(self) -> str:
         return (

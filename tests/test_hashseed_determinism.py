@@ -30,6 +30,10 @@ from repro.core.tss import TunableSelectiveSuspensionScheduler
 from repro.experiments.parallel import GridCell, run_grid
 from repro.schedulers.conservative import ConservativeBackfillScheduler
 from repro.schedulers.easy import EasyBackfillScheduler
+from repro.schedulers.hybrids import (
+    SuspensionWithHeadGuarantee,
+    TunableSuspensionWithGuarantees,
+)
 from repro.workload.archive import get_preset
 from repro.workload.synthetic import generate_trace
 
@@ -40,6 +44,8 @@ schemes = [
     ("tss", TunableSelectiveSuspensionScheduler(suspension_factor=2.0)),
     ("easy", EasyBackfillScheduler()),
     ("conservative", ConservativeBackfillScheduler()),
+    ("ss-easy", SuspensionWithHeadGuarantee()),
+    ("tss-conservative", TunableSuspensionWithGuarantees(suspension_factor=2.0)),
 ]
 cells = [
     GridCell(
@@ -77,7 +83,14 @@ def test_traces_byte_identical_across_hash_seeds(tmp_path: Path) -> None:
     first = _run_grid_under(0, tmp_path)
     second = _run_grid_under(42, tmp_path)
 
-    assert set(first) == {"ss.jsonl", "tss.jsonl", "easy.jsonl", "conservative.jsonl"}
+    assert set(first) == {
+        "ss.jsonl",
+        "tss.jsonl",
+        "easy.jsonl",
+        "conservative.jsonl",
+        "ss-easy.jsonl",
+        "tss-conservative.jsonl",
+    }
     assert set(second) == set(first)
     for name in first:
         assert first[name], f"{name}: empty trace"

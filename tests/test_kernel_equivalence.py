@@ -17,6 +17,14 @@ meaningfully different scales (CTC at 430 processors, SDSC at 128) and
 every scheduler family it compares (SS, TSS, EASY, conservative), so a
 regression anywhere in cluster/profile/sweep code has a cell that
 notices.
+
+The policy-kernel refactor decomposed those schedulers into
+queue/reservation/backfill/preemption policies composed by one
+``PolicyKernel`` -- under the same byte-identical contract, which these
+hashes enforce.  The hybrid schemes it unlocked (``ss-easy``,
+``tss-conservative``) have no seed-kernel ancestor; their traces are
+pinned in :data:`HYBRID_TRACE_SHA256` at the commit that introduced
+them, freezing the composed semantics the same way.
 """
 
 from __future__ import annotations
@@ -59,6 +67,23 @@ GOLDEN_TRACE_SHA256 = {
     ),
 }
 
+#: SHA-256 of the hybrid schemes' JSONL decision traces, pinned at the
+#: commit introducing the policy kernel (no seed-kernel ancestor exists)
+HYBRID_TRACE_SHA256 = {
+    ("CTC", "ss-easy"): (
+        "244258e52371642c49fb3a07ebfa17920aee0d17392d16773685e472bd17c5ab"
+    ),
+    ("CTC", "tss-conservative"): (
+        "cd7b13e0676d31a3f297cd1760abb82dcbfa474b919e801b282d1da46fdaa976"
+    ),
+    ("SDSC", "ss-easy"): (
+        "06f075785379f4c80c4ee66fe2512bd7a2c6ffea733ddc6303dfe61303393de3"
+    ),
+    ("SDSC", "tss-conservative"): (
+        "ed1b261913f4e65db1d192f7c92c3a561e4524afa2dd22facde871dee484a468"
+    ),
+}
+
 
 def _make_scheduler(name: str) -> Scheduler:
     if name == "ss":
@@ -67,12 +92,20 @@ def _make_scheduler(name: str) -> Scheduler:
         return TunableSelectiveSuspensionScheduler(suspension_factor=2.0)
     if name == "easy":
         return EasyBackfillScheduler()
+    if name == "ss-easy":
+        from repro.schedulers.hybrids import SuspensionWithHeadGuarantee
+
+        return SuspensionWithHeadGuarantee(suspension_factor=2.0)
+    if name == "tss-conservative":
+        from repro.schedulers.hybrids import TunableSuspensionWithGuarantees
+
+        return TunableSuspensionWithGuarantees(suspension_factor=2.0)
     return ConservativeBackfillScheduler()
 
 
 @pytest.mark.parametrize(
     ("workload", "scheme"),
-    sorted(GOLDEN_TRACE_SHA256),
+    sorted(GOLDEN_TRACE_SHA256) + sorted(HYBRID_TRACE_SHA256),
     ids=lambda v: str(v),
 )
 def test_trace_matches_seed_kernel(workload: str, scheme: str, tmp_path: Path) -> None:
@@ -83,7 +116,8 @@ def test_trace_matches_seed_kernel(workload: str, scheme: str, tmp_path: Path) -
     sim.run(generate_trace(trace_name, n_jobs=n_jobs, seed=seed))
     rec.close()
     digest = hashlib.sha256(path.read_bytes()).hexdigest()
-    assert digest == GOLDEN_TRACE_SHA256[(workload, scheme)], (
+    expected = {**GOLDEN_TRACE_SHA256, **HYBRID_TRACE_SHA256}
+    assert digest == expected[(workload, scheme)], (
         f"{workload}/{scheme}: decision trace diverged from the seed "
         "kernel -- a perf change altered the schedule (or an intentional "
         "semantic change forgot to regenerate the golden hashes)"

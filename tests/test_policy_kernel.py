@@ -1,0 +1,123 @@
+"""Registry round-trip: every registered scheme survives
+``config() -> scheduler_from_config -> config()`` byte-identically.
+
+The policy kernel assembles each scheme's config mapping from its
+policies' ``config_fragment()`` dicts in axis order (queue, reservation,
+backfill, preemption), and the grid executor, result cache and worker
+dispatch all key on the JSON rendering of that mapping.  A scheme whose
+rebuilt config differs -- even only in key order -- would silently miss
+its own cache entries and break trace provenance, so the contract here
+is *byte* equality of the sorted-less JSON dump, not just dict equality.
+
+Two layers:
+
+* every registered scheme id builds from a bare ``{"scheme": id}``
+  config (builder defaults) and round-trips;
+* a Hypothesis sweep draws constructor parameters per scheme family and
+  round-trips the parameterised configs, with an exhaustiveness guard
+  that fails when a new scheme registers without declaring strategies.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.schedulers.policy import PolicyKernel
+from repro.schedulers.registry import known_schemes, scheduler_from_config
+
+
+def _json(config: dict[str, object]) -> str:
+    # insertion order preserved: this is the byte stream cache keys see
+    return json.dumps(config)
+
+
+@pytest.mark.parametrize("scheme", known_schemes())
+def test_default_config_round_trips(scheme: str) -> None:
+    first = scheduler_from_config({"scheme": scheme})
+    config = dict(first.config())
+    rebuilt = scheduler_from_config(config)
+    assert _json(dict(rebuilt.config())) == _json(config), (
+        f"{scheme}: rebuilt config differs from the original"
+    )
+
+
+@pytest.mark.parametrize("scheme", known_schemes())
+def test_kernel_schemes_compose_config_from_spec(scheme: str) -> None:
+    """PolicyKernel schemes must get their config from the spec -- the
+    one place that fixes fragment merge order."""
+    scheduler = scheduler_from_config({"scheme": scheme})
+    if not isinstance(scheduler, PolicyKernel):
+        pytest.skip(f"{scheme} is not kernel-composed (legacy scheduler)")
+    assert dict(scheduler.config()) == dict(scheduler.spec.config())
+    assert scheduler.scheme_id == scheme
+
+
+_SWEEP_PARAMS = {
+    "suspension_factor": st.floats(
+        min_value=1.0, max_value=10.0, allow_nan=False, allow_infinity=False
+    ),
+    "preemption_interval": st.floats(
+        min_value=1.0, max_value=3600.0, allow_nan=False, allow_infinity=False
+    ),
+    "width_rule": st.booleans(),
+}
+
+#: scheme id -> config-key strategies; must cover known_schemes() exactly
+SCHEME_PARAMS: dict[str, dict[str, st.SearchStrategy]] = {
+    "fcfs": {},
+    "easy": {},
+    "conservative": {},
+    "relaxed": {
+        "relaxation": st.floats(
+            min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+        )
+    },
+    "speculative": {
+        "speculation_window": st.floats(
+            min_value=1.0, max_value=7200.0, allow_nan=False, allow_infinity=False
+        ),
+        "max_kills": st.integers(min_value=0, max_value=10),
+    },
+    "gang": {
+        "quantum": st.floats(
+            min_value=1.0, max_value=7200.0, allow_nan=False, allow_infinity=False
+        )
+    },
+    "is": {
+        "timeslice": st.floats(
+            min_value=1.0, max_value=7200.0, allow_nan=False, allow_infinity=False
+        ),
+        "sweep_interval": st.floats(
+            min_value=1.0, max_value=3600.0, allow_nan=False, allow_infinity=False
+        ),
+    },
+    "ss": dict(_SWEEP_PARAMS),
+    "tss": dict(_SWEEP_PARAMS),
+    "ss-easy": dict(_SWEEP_PARAMS),
+    "tss-conservative": dict(_SWEEP_PARAMS),
+}
+
+
+def test_strategy_table_covers_every_registered_scheme() -> None:
+    assert set(SCHEME_PARAMS) == set(known_schemes()), (
+        "a scheme registered without round-trip strategies (or one was "
+        "removed without pruning SCHEME_PARAMS)"
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_parameterised_config_round_trips(data: st.DataObject) -> None:
+    scheme = data.draw(st.sampled_from(sorted(SCHEME_PARAMS)), label="scheme")
+    config: dict[str, object] = {"scheme": scheme}
+    for key, strategy in SCHEME_PARAMS[scheme].items():
+        config[key] = data.draw(strategy, label=key)
+    first = scheduler_from_config(config)
+    emitted = dict(first.config())
+    for key, value in config.items():
+        assert emitted[key] == value, f"{scheme}: constructor dropped {key}"
+    rebuilt = scheduler_from_config(emitted)
+    assert _json(dict(rebuilt.config())) == _json(emitted)

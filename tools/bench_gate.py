@@ -9,7 +9,7 @@ process on one machine.  This script turns those measurements into a
 
 ``--write``
     Run the suite and write a schema-versioned baseline
-    (``BENCH_PR9.json`` at the repo root) recording per-bench
+    (``BENCH_PR10.json`` at the repo root) recording per-bench
     mean/stddev/rounds, end-to-end jobs/second, in-run speedup ratios,
     a machine-independent *trace fingerprint* (SHA-256 over the
     schedule signature each bench workload produces), the
@@ -29,9 +29,11 @@ process on one machine.  This script turns those measurements into a
       bytes-per-cell) must stay >= 10x -- byte counts, so the floor is
       machine-independent;
     * no bench may regress by more than ``--threshold`` (default 25%)
-      in *normalised* time -- each mean is divided by the same run's
-      event-queue bench, so a slower CI machine does not fail the gate
-      but a slower kernel does.
+      in *normalised* time -- each bench's per-round minimum is divided
+      by the same run's event-queue minimum, so a slower CI machine
+      does not fail the gate but a slower kernel does.  Minimums, not
+      means: scheduler noise only ever adds time, so the min survives
+      a busy single-vCPU runner that would wreck every mean.
 
 Absolute wall-clock numbers are recorded for the human reading the
 artifact; only normalised quantities, byte ratios and fingerprints gate.
@@ -388,10 +390,15 @@ def build_report(raw: dict[str, Any]) -> dict[str, Any]:
     ref = benches.get(REFERENCE_BENCH)
     if ref is None:
         raise SystemExit(f"reference bench {REFERENCE_BENCH!r} missing from run")
-    ref_mean = ref["mean_s"]
+    # Gate on per-round *minimums*, not means: scheduler noise (CI
+    # runners are often single-vCPU and share the core with the
+    # harness) only ever adds time, so the min is the one statistic a
+    # busy neighbour cannot inflate -- it needs just one quiet round.
+    # Means are still recorded in "benches" for the human reader.
+    ref_min = ref["min_s"]
 
     normalised = {
-        name: stats["mean_s"] / ref_mean
+        name: stats["min_s"] / ref_min
         for name, stats in sorted(benches.items())
         if name != REFERENCE_BENCH
     }
@@ -399,10 +406,10 @@ def build_report(raw: dict[str, Any]) -> dict[str, Any]:
     speedups: dict[str, float] = {}
     for label, (fast, slow) in SPEEDUP_PAIRS.items():
         if fast in benches and slow in benches:
-            speedups[label] = benches[slow]["mean_s"] / benches[fast]["mean_s"]
+            speedups[label] = benches[slow]["min_s"] / benches[fast]["min_s"]
 
     rates = {
-        name: JOBS_PER_ROUND[name] / benches[name]["mean_s"]
+        name: JOBS_PER_ROUND[name] / benches[name]["min_s"]
         for name in JOBS_PER_ROUND
         if name in benches
     }
@@ -497,7 +504,7 @@ def main(argv: list[str] | None = None) -> int:
         "--out",
         type=Path,
         default=None,
-        help="report path (default: BENCH_PR9.json for --write, "
+        help="report path (default: BENCH_PR10.json for --write, "
         "bench_report.json for --check)",
     )
     parser.add_argument(
@@ -509,7 +516,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     out = args.out or (
-        REPO_ROOT / ("BENCH_PR9.json" if args.write else "bench_report.json")
+        REPO_ROOT / ("BENCH_PR10.json" if args.write else "bench_report.json")
     )
 
     raw = run_bench_suite()

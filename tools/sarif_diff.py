@@ -1,0 +1,158 @@
+#!/usr/bin/env python
+"""Gate CI on SARIF findings that are new against a committed baseline.
+
+``repro-lint --format sarif`` emits a deterministic SARIF 2.1.0 report
+whose results carry the linter's content fingerprint under
+``partialFingerprints`` (see ``src/repro/lint/sarif.py``).  This tool
+diffs such a report against the committed snapshot
+``tools/sarif_baseline.sarif`` by that fingerprint, so CI fails the
+moment a finding appears that the repository has not explicitly
+reviewed -- independently of the in-repo suppression baseline, which a
+patch could silently grow.
+
+Usage::
+
+    python tools/sarif_diff.py repro-lint.sarif              # gate
+    python tools/sarif_diff.py repro-lint.sarif --update     # re-baseline
+    python tools/sarif_diff.py a.sarif --baseline b.sarif    # plain diff
+
+Identity is the ``reproLint/v1`` partial fingerprint (line-drift
+tolerant); results without one fall back to ``(ruleId, uri, startLine,
+message)``.  Suppressed results (the lint baseline's reviewed findings)
+count as *known* on both sides: a suppression going stale surfaces as a
+new unsuppressed finding here, not as a silent swap.
+
+Exit status: 0 no new findings, 1 new findings (or a missing/invalid
+report), 2 usage error.  Resolved findings never fail the gate -- they
+are reported so the baseline can be refreshed with ``--update``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "tools" / "sarif_baseline.sarif"
+
+#: the fingerprint key repro-lint's SARIF writer emits
+FINGERPRINT_KEY = "reproLint/v1"
+
+
+def _location(result: dict) -> tuple[str, int]:
+    """(uri, startLine) of the result's first physical location."""
+    for loc in result.get("locations", []):
+        phys = loc.get("physicalLocation", {})
+        uri = phys.get("artifactLocation", {}).get("uri", "?")
+        line = phys.get("region", {}).get("startLine", 0)
+        return str(uri), int(line)
+    return "?", 0
+
+
+def _identity(result: dict) -> str:
+    """Stable identity of one SARIF result (fingerprint, else fields)."""
+    fp = result.get("partialFingerprints", {}).get(FINGERPRINT_KEY)
+    if fp:
+        return str(fp)
+    uri, line = _location(result)
+    message = result.get("message", {}).get("text", "")
+    return f"{result.get('ruleId', '?')}|{uri}|{line}|{message}"
+
+
+def _is_suppressed(result: dict) -> bool:
+    return bool(result.get("suppressions"))
+
+
+def load_results(path: Path) -> dict[str, dict]:
+    """identity -> result, over every run in the SARIF file at *path*."""
+    doc = json.loads(path.read_text())
+    out: dict[str, dict] = {}
+    for run in doc.get("runs", []):
+        for result in run.get("results", []):
+            out[_identity(result)] = result
+    return out
+
+
+def _describe(result: dict) -> str:
+    uri, line = _location(result)
+    message = result.get("message", {}).get("text", "")
+    return f"{uri}:{line}: {result.get('ruleId', '?')}: {message}"
+
+
+def diff(
+    current: dict[str, dict], baseline: dict[str, dict]
+) -> tuple[list[dict], list[dict]]:
+    """(new unsuppressed findings, resolved baseline findings)."""
+    new = [
+        r
+        for key, r in sorted(current.items())
+        if key not in baseline and not _is_suppressed(r)
+    ]
+    resolved = [
+        r
+        for key, r in sorted(baseline.items())
+        if key not in current and not _is_suppressed(r)
+    ]
+    return new, resolved
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="freshly generated SARIF report")
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        help=f"committed SARIF snapshot (default: {DEFAULT_BASELINE.name})",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="copy the current report over the baseline and exit 0",
+    )
+    args = parser.parse_args(argv)
+
+    current_path = Path(args.current)
+    baseline_path = Path(args.baseline)
+    if not current_path.is_file():
+        print(f"sarif-diff: report not found: {current_path}", file=sys.stderr)
+        return 1
+
+    if args.update:
+        baseline_path.write_text(current_path.read_text())
+        print(f"sarif-diff: baseline updated from {current_path}")
+        return 0
+
+    if not baseline_path.is_file():
+        print(
+            f"sarif-diff: baseline not found: {baseline_path} "
+            "(create it with --update)",
+            file=sys.stderr,
+        )
+        return 1
+
+    current = load_results(current_path)
+    baseline = load_results(baseline_path)
+    new, resolved = diff(current, baseline)
+
+    for result in resolved:
+        print(f"resolved (refresh baseline with --update): {_describe(result)}")
+    if new:
+        for result in new:
+            print(f"NEW finding: {_describe(result)}", file=sys.stderr)
+        print(
+            f"sarif-diff: {len(new)} finding(s) not in {baseline_path.name}; "
+            "fix them or re-baseline deliberately with --update",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"sarif-diff: OK ({len(current)} finding(s), all known; "
+        f"{len(resolved)} resolved)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
